@@ -1,0 +1,55 @@
+"""Ablation — the r-clique radius sensitivity (Section II critique).
+
+Kargar & An's method needs a fixed radius r (plus an index radius R > r).
+The paper argues "these parameters may be difficult to fix in a graph
+with large variety". Measured here: sweeping r shows a cliff — small r
+returns almost nothing, large r floods the candidate set — while the
+Central Graph engine's only knob (α) degrades gracefully (Fig. 8).
+"""
+
+from repro.baselines.rclique import RClique, RCliqueConfig
+from repro.bench.reporting import format_table
+from repro.eval.queries import KeywordWorkload
+
+
+def test_ablation_rclique_radius_sensitivity(benchmark, wiki2017, write_result):
+    workload = KeywordWorkload(wiki2017.index, seed=55)
+    queries = workload.sample_queries(4, 5)
+    radii = (1, 2, 4, 6, 10)
+
+    def run():
+        rows = []
+        for radius in radii:
+            searcher = RClique(
+                wiki2017.graph, wiki2017.index, RCliqueConfig(r=radius)
+            )
+            answers_total = 0
+            centers_total = 0
+            ms_total = 0.0
+            for query in queries:
+                result = searcher.search(query, k=20)
+                answers_total += len(result.answers)
+                centers_total += searcher.n_feasible_centers(query)
+                ms_total += result.elapsed_seconds * 1e3
+            rows.append(
+                [
+                    radius,
+                    answers_total / len(queries),
+                    centers_total / len(queries),
+                    ms_total / len(queries),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "ablation_rclique_r",
+        "Ablation: r-clique radius sensitivity (avg over 5 queries, Knum=4)",
+        format_table(
+            ["r", "avg_answers", "avg_feasible_centers", "avg_ms"], rows
+        ),
+    )
+    by_radius = {row[0]: row for row in rows}
+    # The cliff: r=1 yields (almost) nothing; r=10 floods the candidates.
+    assert by_radius[1][2] <= by_radius[4][2] <= by_radius[10][2]
+    assert by_radius[10][2] > 10 * max(by_radius[1][2], 1)

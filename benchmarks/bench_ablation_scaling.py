@@ -1,0 +1,78 @@
+"""Ablation — runtime versus graph size.
+
+The paper's scalability story rests on two data points (wiki2017 →
+wiki2018, a 2.2× edge growth). This bench extends the curve downward
+with two smaller generated KBs and reports how each phase scales.
+
+Expected reading: the *expansion* phase scales with graph size (each
+level is Θ(frontier edges) and the state is Θ(q·|V|)); the *top-down*
+phase scales with the number and size of top-(k,d) Central Graphs the
+workload happens to produce, which is a property of the query mix, not
+of |V| — so totals are workload-dominated while expansion shows the
+clean size trend. The assertion bounds total growth loosely.
+"""
+
+from repro.bench.datasets import build_dataset
+from repro.bench.harness import METHOD_GPU_SIM, run_method
+from repro.bench.reporting import format_table
+from repro.eval.queries import KeywordWorkload
+from repro.graph.generators import WikiKBConfig
+
+
+def _small_config(name, seed, factor):
+    return WikiKBConfig(
+        name=name,
+        seed=seed,
+        n_papers=int(2500 * factor),
+        n_people=int(1200 * factor),
+        n_misc=int(1200 * factor),
+        n_venues=max(4, int(40 * factor)),
+        n_orgs=max(4, int(48 * factor)),
+        gold_papers_per_query=2,
+        decoy_papers_per_phrase=1,
+    )
+
+
+def test_ablation_scaling(benchmark, wiki2017, wiki2018, write_result):
+    quarter = build_dataset(_small_config("wiki-quarter", 11, 0.25),
+                            distance_pairs=500)
+    half = build_dataset(_small_config("wiki-half", 12, 0.5),
+                         distance_pairs=1000)
+    datasets = [quarter, half, wiki2017, wiki2018]
+
+    def run():
+        rows = []
+        for dataset in datasets:
+            workload = KeywordWorkload(dataset.index, seed=61)
+            queries = workload.sample_queries(6, 5)
+            phase_ms = run_method(dataset, METHOD_GPU_SIM, queries)
+            rows.append(
+                [
+                    dataset.name,
+                    dataset.graph.n_nodes,
+                    dataset.graph.n_edges,
+                    phase_ms["expansion"],
+                    phase_ms["top_down_processing"],
+                    phase_ms["total"],
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "ablation_scaling",
+        "Ablation: engine runtime vs graph size (GPU-Par(sim), Knum=6)",
+        format_table(
+            ["dataset", "nodes", "edges", "expand_ms", "topdown_ms",
+             "total_ms"],
+            rows,
+        ),
+    )
+    # Loose linearity: an ~8x node-count growth (quarter -> wiki2018)
+    # must not cost more than ~60x in total time (timing noise and
+    # per-query variance included).
+    smallest = rows[0]
+    largest = rows[-1]
+    node_growth = largest[1] / smallest[1]
+    time_growth = largest[5] / max(smallest[5], 1e-6)
+    assert time_growth < 8 * node_growth

@@ -1,0 +1,60 @@
+"""Fig. 11 — top-{5,10,20} precision on wiki2017: BANKS-II vs α settings.
+
+Paper shape: for every query except the trivially easy Q10/Q11, some α
+setting of the Central Graph engine matches or outperforms BANKS-II;
+BANKS-II specifically loses on phrase-heavy queries (Q4/Q6/Q7 family)
+because its summed path-length score is blind to keyword co-occurrence.
+"""
+
+from repro.bench.harness import effectiveness_experiment
+from repro.bench.reporting import precision_table
+from repro.eval.precision import mean_precision
+
+
+def test_fig11_effectiveness_wiki2017(benchmark, wiki2017, write_result):
+    def run():
+        return effectiveness_experiment(
+            wiki2017, alphas=(0.05, 0.1, 0.4), cutoffs=(5, 10, 20)
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    body = []
+    for cutoff in (5, 10, 20):
+        body.append(f"top-{cutoff} precision:")
+        body.append(precision_table(rows, cutoff))
+        body.append("")
+    write_result(
+        "fig11_effectiveness_wiki2017",
+        "Fig. 11: top-k precision on wiki2017-sim",
+        "\n".join(body),
+    )
+
+    # Shape: on most queries, the best alpha >= BANKS-II at top-20.
+    queries = sorted({row.query_id for row in rows})
+    wins = 0
+    for query_id in queries:
+        banks = [
+            r.precision_at[20]
+            for r in rows
+            if r.query_id == query_id and r.method == "BANKS-II"
+        ]
+        engine_best = max(
+            r.precision_at[20]
+            for r in rows
+            if r.query_id == query_id and r.method.startswith("alpha-")
+        )
+        if not banks or engine_best >= banks[0]:
+            wins += 1
+    assert wins >= len(queries) * 0.6
+
+    # And the macro-average of the best fixed alpha is competitive.
+    banks_mean = mean_precision(
+        [r for r in rows if r.method == "BANKS-II"], 20
+    )
+    alpha_means = {
+        method: mean_precision(
+            [r for r in rows if r.method == method], 20
+        )
+        for method in ("alpha-0.05", "alpha-0.1", "alpha-0.4")
+    }
+    assert max(alpha_means.values()) >= banks_mean - 0.05

@@ -1,0 +1,46 @@
+"""Fig. 12 — top-{5,10,20} precision on wiki2018 (the larger dataset).
+
+Same protocol as Fig. 11. BANKS-II runs under its pop budget here (the
+analogue of the paper's 500 s cap, which BANKS-II hits on real wiki2018).
+"""
+
+from repro.baselines.banks import BanksConfig
+from repro.bench.harness import effectiveness_experiment
+from repro.bench.reporting import precision_table
+from repro.eval.precision import mean_precision
+
+
+def test_fig12_effectiveness_wiki2018(benchmark, wiki2018, write_result):
+    def run():
+        return effectiveness_experiment(
+            wiki2018, alphas=(0.05, 0.1, 0.4), cutoffs=(5, 10, 20)
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    body = []
+    for cutoff in (5, 10, 20):
+        body.append(f"top-{cutoff} precision:")
+        body.append(precision_table(rows, cutoff))
+        body.append("")
+    write_result(
+        "fig12_effectiveness_wiki2018",
+        "Fig. 12: top-k precision on wiki2018-sim",
+        "\n".join(body),
+    )
+
+    queries = sorted({row.query_id for row in rows})
+    wins = 0
+    for query_id in queries:
+        banks = [
+            r.precision_at[20]
+            for r in rows
+            if r.query_id == query_id and r.method == "BANKS-II"
+        ]
+        engine_best = max(
+            r.precision_at[20]
+            for r in rows
+            if r.query_id == query_id and r.method.startswith("alpha-")
+        )
+        if not banks or engine_best >= banks[0]:
+            wins += 1
+    assert wins >= len(queries) * 0.6

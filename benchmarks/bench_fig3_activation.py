@@ -1,0 +1,28 @@
+"""Fig. 3 — node distribution over minimum activation levels per α.
+
+Paper shape: larger α maps more nodes to smaller activation levels
+(α-0.4 concentrates mass at level 0-1; α-0.05 pushes it to ≥A).
+"""
+
+from repro.bench.reporting import distribution_table_text
+from repro.core.activation import activation_levels, distribution_table
+
+
+def test_fig3_activation_level_distribution(benchmark, wiki2018, write_result):
+    average = wiki2018.distance.average
+    table = distribution_table(
+        wiki2018.weights, average, alphas=(0.05, 0.1, 0.4)
+    )
+    write_result(
+        "fig3_activation_distribution",
+        f"Fig. 3: activation-level distribution (A={average:.2f}, wiki2018-sim)",
+        distribution_table_text(table),
+    )
+    # Shape assertion: growing alpha shifts mass to small levels.
+    small_005 = table[0.05]["0"] + table[0.05]["1"]
+    small_040 = table[0.4]["0"] + table[0.4]["1"]
+    assert small_040 >= small_005
+
+    # Timed kernel: the Eq. 3-5 mapping over the whole node set.
+    levels = benchmark(activation_levels, wiki2018.weights, average, 0.1)
+    assert levels.min() >= 0

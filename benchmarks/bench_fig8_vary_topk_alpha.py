@@ -1,0 +1,69 @@
+"""Fig. 8 — vary Topk (row 1) and α (row 2) on both datasets.
+
+Paper shape: runtime is nearly flat in Topk (answers are selected from
+the already-found top-(k,d) set; time only jumps when a deeper level is
+needed), and runtime *falls* as α grows (more nodes activate early, so
+answers are discovered sooner).
+"""
+
+import numpy as np
+
+from repro.bench.harness import METHOD_CPU_PAR, METHOD_GPU_SIM, vary_alpha, vary_topk
+from repro.bench.reporting import total_time_table
+
+
+def test_fig8_vary_topk(benchmark, wiki2017, wiki2018, write_result):
+    def sweep():
+        rows = []
+        for dataset in (wiki2017, wiki2018):
+            rows += vary_topk(
+                dataset,
+                topks=(10, 20, 30, 40, 50),
+                methods=(METHOD_GPU_SIM, METHOD_CPU_PAR),
+                n_queries=5,
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result(
+        "fig8_vary_topk",
+        "Fig. 8 (row 1): vary Topk (avg total ms per query)",
+        total_time_table(rows),
+    )
+    # Flatness: the largest Topk costs at most ~4x the smallest (the
+    # paper's plots are near-flat; we allow headroom for level jumps).
+    for dataset in ("wiki2017-sim", "wiki2018-sim"):
+        totals = [
+            row.total_ms
+            for row in rows
+            if row.dataset == dataset and row.method == METHOD_GPU_SIM
+        ]
+        assert max(totals) < 6 * max(min(totals), 1e-3)
+
+
+def test_fig8_vary_alpha(benchmark, wiki2017, wiki2018, write_result):
+    def sweep():
+        rows = []
+        for dataset in (wiki2017, wiki2018):
+            rows += vary_alpha(
+                dataset,
+                alphas=(0.05, 0.1, 0.2, 0.4),
+                methods=(METHOD_GPU_SIM, METHOD_CPU_PAR),
+                n_queries=5,
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result(
+        "fig8_vary_alpha",
+        "Fig. 8 (row 2): vary alpha (avg total ms per query)",
+        total_time_table(rows),
+    )
+    # Shape: larger alpha does not slow the search down; typically faster.
+    for dataset in ("wiki2017-sim", "wiki2018-sim"):
+        series = {
+            row.value: row.total_ms
+            for row in rows
+            if row.dataset == dataset and row.method == METHOD_GPU_SIM
+        }
+        assert series[0.4] <= 2.0 * series[0.05]

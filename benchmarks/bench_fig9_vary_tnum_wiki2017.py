@@ -1,0 +1,47 @@
+"""Fig. 9 — vary Tnum (thread count) on wiki2017.
+
+Paper shape on a 52-core box: CPU-Par phases accelerate with threads;
+CPU-Par-d barely benefits because locked reads/writes serialize it.
+
+Reproduction notes: CPython's GIL prevents thread speedups, and this
+benchmark host may expose a single CPU (the series then documents
+*scheduling-overhead neutrality*: adding workers must not degrade the
+runtime). The CPU-Par(proc) series uses the shared-memory process
+backend, which delivers real scaling on multi-core hosts; the host's
+core count is printed with the table. EXPERIMENTS.md discusses this
+substitution.
+"""
+
+import os
+
+from repro.bench.harness import (
+    METHOD_CPU_PAR,
+    METHOD_CPU_PAR_D,
+    vary_tnum,
+)
+from repro.bench.reporting import sweep_table, total_time_table
+
+
+def test_fig9_vary_tnum_wiki2017(benchmark, wiki2017, write_result):
+    def sweep():
+        return vary_tnum(
+            wiki2017,
+            tnums=(1, 2, 4, 8),
+            n_queries=4,
+        )
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+        else os.cpu_count()
+    write_result(
+        "fig9_vary_tnum_wiki2017",
+        f"Fig. 9: vary Tnum on wiki2017-sim (avg ms per query; "
+        f"host exposes {cores} CPU core(s))",
+        sweep_table(rows) + "\n\nTotals:\n" + total_time_table(rows),
+    )
+    by_key = {(r.method, r.value): r for r in rows}
+    for tnum in (1, 4):
+        assert (
+            by_key[(METHOD_CPU_PAR, tnum)].total_ms
+            < by_key[(METHOD_CPU_PAR_D, tnum)].total_ms * 3
+        )

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark suite.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table and
+figure of the paper's Section VI at reproduction scale. Each benchmark
+prints its rows and also writes them to ``benchmarks/results/<name>.txt``
+so the regenerated artifacts survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.datasets import wiki2017_dataset, wiki2018_dataset
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def wiki2017():
+    return wiki2017_dataset()
+
+
+@pytest.fixture(scope="session")
+def wiki2018():
+    return wiki2018_dataset()
+
+
+@pytest.fixture(scope="session")
+def write_result():
+    """Persist a regenerated table under benchmarks/results/ and echo it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def writer(name: str, title: str, body: str) -> None:
+        text = f"=== {title} ===\n{body}\n"
+        with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w",
+                  encoding="utf-8") as handle:
+            handle.write(text)
+        print("\n" + text)
+
+    return writer

@@ -1,0 +1,67 @@
+"""Compare the Central Graph engine against BANKS-I/II and exact GST.
+
+Reproduces, on one query, the paper's two headline comparisons:
+
+* efficiency — the lock-free two-stage engine answers in milliseconds
+  while BANKS-II's activation-ordered bidirectional expansion visits a
+  large share of the graph;
+* answer shape — graph-shaped Central Graph answers versus tree-shaped
+  Steiner answers (and, keyword count permitting, the exact optimum from
+  the DPBF dynamic program).
+
+Run:  python examples/compare_baselines.py
+"""
+
+import time
+
+from repro import KeywordSearchEngine, VectorizedBackend
+from repro.baselines import BanksI, BanksII, dpbf_search
+from repro.graph.generators import wiki_like_kb
+
+QUERY = "sql rdf knowledge"
+
+
+def main() -> None:
+    graph, _ = wiki_like_kb()
+    print(f"graph: {graph.n_nodes} nodes, {graph.n_edges} edges")
+    print(f"query: {QUERY!r}\n")
+
+    engine = KeywordSearchEngine(graph, backend=VectorizedBackend())
+
+    start = time.perf_counter()
+    result = engine.search(QUERY, k=5)
+    engine_ms = (time.perf_counter() - start) * 1e3
+    print(f"Central Graph engine: {engine_ms:.1f} ms, "
+          f"{len(result.answers)} answers, d={result.depth}")
+    best = result.answers[0].graph
+    print(best.describe(graph.node_text))
+    print()
+
+    for name, cls in (("BANKS-I", BanksI), ("BANKS-II", BanksII)):
+        baseline = cls(graph, engine.index)
+        start = time.perf_counter()
+        baseline_result = baseline.search(QUERY, k=5)
+        baseline_ms = (time.perf_counter() - start) * 1e3
+        print(f"{name}: {baseline_ms:.1f} ms, "
+              f"{len(baseline_result.answers)} answers, "
+              f"{baseline_result.nodes_popped} queue pops, "
+              f"terminated={baseline_result.terminated}")
+        print(baseline_result.answers[0].describe(graph.node_text))
+        print()
+
+    # Exact GST oracle (feasible here: only 3 keyword groups).
+    pairs = engine.index.query_node_sets(QUERY)
+    sets = [nodes for _, nodes in pairs if len(nodes)]
+    start = time.perf_counter()
+    tree = dpbf_search(graph, sets)
+    dpbf_ms = (time.perf_counter() - start) * 1e3
+    if tree is not None:
+        print(f"Exact GST (DPBF): {dpbf_ms:.1f} ms, optimal cost "
+              f"{tree.cost} edge(s), nodes {sorted(tree.nodes)}")
+    print("\nTakeaway: the engine is the fastest by a wide margin, and "
+          "its graph-shaped answer subsumes several of the baselines' "
+          "overlapping trees.")
+
+
+if __name__ == "__main__":
+    main()

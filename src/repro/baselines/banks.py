@@ -1,0 +1,251 @@
+"""BANKS-I and BANKS-II baselines, implemented from scratch.
+
+* **BANKS-I** (Aditya et al., VLDB'02) — pure backward search: one
+  shortest-path iterator per keyword group, interleaved in increasing
+  distance order (Dijkstra semantics). A node reached by every group
+  becomes an answer root; the answer tree is the union of the per-group
+  shortest paths.
+
+* **BANKS-II** (Kacholia et al., VLDB'05) — bidirectional expansion with
+  *spreading activation*: expansion order follows activation (decaying by
+  μ per hop from keyword nodes, scaled down at high-degree nodes), not
+  distance. Because activation order is not monotone in distance, a
+  node's distance can improve after it was expanded, forcing re-expansion
+  — the recursive-update cost the paper singles out. High-degree nodes
+  are entered but not expanded backward (the forward-test spirit: avoid
+  fanning out of hubs).
+
+Both use the output-heap discipline: candidates accumulate and the search
+stops once the k-th best score can no longer be beaten by any future root
+(sum over groups of the smallest pending frontier distances), subject to
+a pop budget (the analogue of the paper's 500-second cap).
+
+Scoring follows the paper's characterization of BANKS-II: tree score =
+"the sum of length of paths from root to every leaf node", refined by
+node *prestige* — BANKS prefers high-in-degree roots (hubs), the opposite
+of the Central Graph engine's degree-of-summary penalty. This is exactly
+the property the effectiveness study exercises: the score is blind to
+keyword co-occurrence inside nodes.
+
+Documented substitutions: uniform edge weights; prestige enters as a
+small subtractive bonus rather than BANKS's multiplicative combination;
+the termination bound is the conservative sum-of-frontier-minima.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.csr import KnowledgeGraph
+from ..text.inverted_index import InvertedIndex
+from .common import AnswerTree, BaselineResult, rank_candidates
+
+_UNSET = -1
+
+TERMINATED_BOUND = "bound"
+TERMINATED_EXHAUSTED = "exhausted"
+TERMINATED_BUDGET = "budget"
+
+
+@dataclass
+class BanksConfig:
+    """Knobs shared by both BANKS variants.
+
+    Attributes:
+        mu: activation decay per hop (BANKS-II; 0 < mu <= 1).
+        degree_cap: BANKS-II does not expand backward out of nodes with
+            (bi-directed) degree above this cap — the forward-test spirit.
+        max_pops: hard budget on priority-queue pops — the analogue of
+            the paper's 500 s wall-clock cap at our scale.
+        candidate_slack: keep searching until this multiple of k
+            candidate roots exists before trusting the bound.
+        prestige_bonus: score reduction per unit log2(1 + degree(root));
+            BANKS's node-prestige preference for well-connected roots.
+    """
+
+    mu: float = 0.5
+    degree_cap: int = 1000
+    max_pops: int = 2_000_000
+    candidate_slack: int = 2
+    prestige_bonus: float = 0.05
+
+
+class BanksI:
+    """Backward expanding search (distance-ordered iterators)."""
+
+    name = "banks-1"
+    _by_activation = False
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        index: InvertedIndex,
+        config: Optional[BanksConfig] = None,
+    ) -> None:
+        self.graph = graph
+        self.index = index
+        self.config = config or BanksConfig()
+        # log2(1 + degree), reused across queries for prestige and decay.
+        self._log_degrees = np.log2(1.0 + graph.adj.degrees().astype(np.float64))
+
+    def search(self, query: str, k: int = 20) -> BaselineResult:
+        """Top-k answer trees for a raw query string.
+
+        Raises:
+            ValueError: when no query term matches any node.
+        """
+        pairs = self.index.query_node_sets(query)
+        node_sets = [nodes for _, nodes in pairs if len(nodes) > 0]
+        if not node_sets:
+            raise ValueError(f"no query term matches any node: {query!r}")
+        return self._expand_loop(node_sets, k)
+
+    # ------------------------------------------------------------------
+    # Shared machinery
+    # ------------------------------------------------------------------
+    def _score(self, root: int, dist: np.ndarray) -> float:
+        """Σ_i dist_i(root) minus the prestige bonus for hub roots."""
+        path_sum = float(dist[:, root].sum())
+        return path_sum - self.config.prestige_bonus * float(
+            self._log_degrees[root]
+        )
+
+    def _build_tree(
+        self, root: int, dist: np.ndarray, parent: np.ndarray
+    ) -> AnswerTree:
+        """Union of per-group parent-pointer paths root → nearest source."""
+        paths: Dict[int, List[int]] = {}
+        for column in range(dist.shape[0]):
+            path = [root]
+            while dist[column, path[-1]] > 0:
+                path.append(int(parent[column, path[-1]]))
+            paths[column] = path
+        return AnswerTree(
+            root=root, paths=paths, score=self._score(root, dist)
+        )
+
+    def _expand_loop(
+        self, node_sets: List[np.ndarray], k: int
+    ) -> BaselineResult:
+        start = time.perf_counter()
+        config = self.config
+        by_activation = self._by_activation
+        n = self.graph.n_nodes
+        q = len(node_sets)
+        big = np.iinfo(np.int32).max
+        dist = np.full((q, n), big, dtype=np.int64)
+        parent = np.full((q, n), _UNSET, dtype=np.int64)
+        covered = np.zeros(n, dtype=np.int16)
+        adj = self.graph.adj
+        degrees = adj.degrees()
+
+        candidate_roots: set = set()
+        # Pending-distance heap per group: the termination bound's source.
+        pending: List[List[Tuple[int, int]]] = [[] for _ in range(q)]
+        heap: List[Tuple[float, int, int, int]] = []
+        counter = 0
+        for column, sources in enumerate(node_sets):
+            for node in sources:
+                node = int(node)
+                if dist[column, node] == 0:
+                    continue
+                dist[column, node] = 0
+                covered[node] += 1
+                priority = 0.0 if not by_activation else -1.0
+                heapq.heappush(heap, (priority, counter, node, column))
+                heapq.heappush(pending[column], (0, node))
+                counter += 1
+        for node in np.flatnonzero(covered == q):
+            candidate_roots.add(int(node))
+
+        pops = 0
+        terminated = TERMINATED_EXHAUSTED
+        while heap:
+            priority, _, node, column = heapq.heappop(heap)
+            pops += 1
+            if pops > config.max_pops:
+                terminated = TERMINATED_BUDGET
+                break
+            node_dist = int(dist[column, node])
+            if not by_activation and node_dist < priority:
+                continue  # stale Dijkstra entry
+            if by_activation and degrees[node] > config.degree_cap:
+                # BANKS-II forward test: do not fan out of summary hubs.
+                continue
+            next_dist = node_dist + 1
+            for neighbor in adj.neighbors(node):
+                neighbor = int(neighbor)
+                if next_dist >= dist[column, neighbor]:
+                    continue
+                newly_reached = dist[column, neighbor] == big
+                dist[column, neighbor] = next_dist
+                parent[column, neighbor] = node
+                heapq.heappush(pending[column], (next_dist, neighbor))
+                if by_activation:
+                    # Activation decays per hop and at high-degree nodes;
+                    # non-monotone order → re-expansions (the recursive
+                    # updates the paper criticizes).
+                    activation = -priority * config.mu
+                    activation /= max(1.0, float(self._log_degrees[neighbor]))
+                    heapq.heappush(heap, (-activation, counter, neighbor, column))
+                else:
+                    heapq.heappush(
+                        heap, (float(next_dist), counter, neighbor, column)
+                    )
+                counter += 1
+                if newly_reached:
+                    covered[neighbor] += 1
+                    if covered[neighbor] == q:
+                        candidate_roots.add(neighbor)
+
+            if len(candidate_roots) >= k * config.candidate_slack and pops % 64 == 0:
+                kth = self._kth_best_score(candidate_roots, dist, k)
+                if kth is not None:
+                    bound = self._pending_bound(pending, dist)
+                    if bound >= kth:
+                        terminated = TERMINATED_BOUND
+                        break
+
+        candidates = [
+            self._build_tree(root, dist, parent)
+            for root in sorted(candidate_roots)
+        ]
+        ranked = rank_candidates(candidates, k)
+        return BaselineResult(
+            answers=ranked,
+            nodes_popped=pops,
+            terminated=terminated,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def _kth_best_score(
+        self, candidate_roots: set, dist: np.ndarray, k: int
+    ) -> Optional[float]:
+        if len(candidate_roots) < k:
+            return None
+        scores = sorted(self._score(root, dist) for root in candidate_roots)
+        return scores[k - 1]
+
+    def _pending_bound(
+        self, pending: List[List[Tuple[int, int]]], dist: np.ndarray
+    ) -> float:
+        """Lower bound on any future root's score: Σ_i min pending dist_i."""
+        bound = 0.0
+        for column, column_heap in enumerate(pending):
+            while column_heap and dist[column, column_heap[0][1]] < column_heap[0][0]:
+                heapq.heappop(column_heap)  # stale: distance improved since
+            if column_heap:
+                bound += column_heap[0][0]
+        return bound
+
+
+class BanksII(BanksI):
+    """Bidirectional expansion with spreading activation."""
+
+    name = "banks-2"
+    _by_activation = True

@@ -1,0 +1,208 @@
+"""BLINKS-style indexed keyword search (He et al., SIGMOD'07), simplified.
+
+BLINKS answers keyword queries from two precomputed structures: a
+keyword→nodes list with distances (for each keyword, how far is every
+node from its nearest carrier) and the node→keyword map. Queries then
+reduce to scanning per-node distance sums — extremely fast. The paper
+declines to compare against it because those structures are "infeasible
+on Wikidata KB with 30 million nodes and over 5 million keywords": the
+index is Θ(#terms × |V|), a petabyte-scale object at Wikidata size.
+
+This reproduction implements the single-level (unpartitioned) variant so
+the trade-off can be *measured*: per-term index cost (time and bytes)
+versus query latency. The ablation bench extrapolates the full-vocabulary
+index size, reproducing the paper's feasibility argument quantitatively.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..graph.csr import KnowledgeGraph
+from ..text.inverted_index import InvertedIndex
+from .common import AnswerTree, BaselineResult, rank_candidates
+
+_UNSET = -1
+_INF = np.iinfo(np.int32).max
+
+
+@dataclass
+class TermIndexEntry:
+    """Distances and parent pointers for one keyword term.
+
+    Attributes:
+        distances: hop distance from every node to the nearest carrier.
+        parents: next hop toward the nearest carrier (self for carriers).
+        build_seconds: wall-clock cost of the BFS that produced it.
+    """
+
+    distances: np.ndarray
+    parents: np.ndarray
+    build_seconds: float
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.distances.nbytes + self.parents.nbytes)
+
+
+class BlinksIndex:
+    """Per-term distance index over one graph.
+
+    Terms are indexed on demand (``ensure_term``) so tests and benches
+    can build exactly what they query; :meth:`extrapolated_full_nbytes`
+    reports what indexing *every* vocabulary term would cost — the
+    number the paper's feasibility argument turns on.
+    """
+
+    def __init__(self, graph: KnowledgeGraph, index: InvertedIndex) -> None:
+        self.graph = graph
+        self.index = index
+        self._entries: Dict[str, TermIndexEntry] = {}
+
+    def ensure_term(self, term: str) -> Optional[TermIndexEntry]:
+        """Index ``term`` if needed; None when it matches no node."""
+        normalized = self.index.tokenizer.tokenize(term)
+        if len(normalized) != 1:
+            return None
+        key = normalized[0]
+        entry = self._entries.get(key)
+        if entry is not None:
+            return entry
+        sources = self.index.nodes_for_normalized_term(key)
+        if len(sources) == 0:
+            return None
+        entry = self._build_entry(sources)
+        self._entries[key] = entry
+        return entry
+
+    def _build_entry(self, sources: np.ndarray) -> TermIndexEntry:
+        start = time.perf_counter()
+        n = self.graph.n_nodes
+        distances = np.full(n, _INF, dtype=np.int32)
+        parents = np.full(n, _UNSET, dtype=np.int64)
+        frontier = np.asarray(sources, dtype=np.int64)
+        distances[frontier] = 0
+        parents[frontier] = frontier
+        indptr = self.graph.adj.indptr
+        indices = self.graph.adj.indices
+        level = 0
+        while len(frontier):
+            starts = indptr[frontier]
+            degrees = indptr[frontier + 1] - starts
+            total = int(degrees.sum())
+            if total == 0:
+                break
+            offsets = np.concatenate(([0], np.cumsum(degrees)[:-1]))
+            positions = np.repeat(starts - offsets, degrees) + np.arange(total)
+            neighbors = indices[positions].astype(np.int64)
+            origin = np.repeat(frontier, degrees)
+            fresh_mask = distances[neighbors] == _INF
+            if not fresh_mask.any():
+                break
+            fresh = neighbors[fresh_mask]
+            fresh_origin = origin[fresh_mask]
+            # First writer wins deterministically via unique selection.
+            unique, first_positions = np.unique(fresh, return_index=True)
+            level += 1
+            distances[unique] = level
+            parents[unique] = fresh_origin[first_positions]
+            frontier = unique
+        return TermIndexEntry(
+            distances=distances,
+            parents=parents,
+            build_seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    # Accounting (the feasibility argument)
+    # ------------------------------------------------------------------
+    @property
+    def n_indexed_terms(self) -> int:
+        return len(self._entries)
+
+    def nbytes(self) -> int:
+        return sum(entry.nbytes for entry in self._entries.values())
+
+    def per_term_nbytes(self) -> int:
+        """Bytes one term costs: Θ(|V|), independent of its frequency."""
+        n = self.graph.n_nodes
+        return n * (
+            np.dtype(np.int32).itemsize + np.dtype(np.int64).itemsize
+        )
+
+    def extrapolated_full_nbytes(self) -> int:
+        """Index size if *every* vocabulary term were precomputed."""
+        return self.index.n_terms * self.per_term_nbytes()
+
+
+class Blinks:
+    """Query evaluation over a :class:`BlinksIndex`.
+
+    Scoring matches the BANKS convention (sum of root→carrier distances)
+    so effectiveness comparisons are apples-to-apples.
+    """
+
+    name = "blinks"
+
+    def __init__(self, graph: KnowledgeGraph, index: InvertedIndex) -> None:
+        self.graph = graph
+        self.blinks_index = BlinksIndex(graph, index)
+
+    def search(self, query: str, k: int = 20) -> BaselineResult:
+        """Top-k answer trees; terms are indexed on first use.
+
+        Raises:
+            ValueError: when no query term matches any node.
+        """
+        start = time.perf_counter()
+        entries: List[TermIndexEntry] = []
+        for term in query.split():
+            entry = self.blinks_index.ensure_term(term)
+            if entry is not None:
+                entries.append(entry)
+        if not entries:
+            raise ValueError(f"no query term matches any node: {query!r}")
+
+        # The BLINKS query step: one vectorized scan over node scores.
+        totals = np.zeros(self.graph.n_nodes, dtype=np.int64)
+        reachable = np.ones(self.graph.n_nodes, dtype=bool)
+        for entry in entries:
+            reachable &= entry.distances != _INF
+            totals += np.minimum(entry.distances, _INF // len(entries))
+        candidates = np.flatnonzero(reachable)
+        if len(candidates) == 0:
+            return BaselineResult(
+                answers=[],
+                nodes_popped=0,
+                terminated="exhausted",
+                elapsed_seconds=time.perf_counter() - start,
+            )
+        order = np.argsort(totals[candidates], kind="stable")
+        top_roots = candidates[order][: k * 2]
+        answers = [
+            self._build_tree(int(root), entries) for root in top_roots
+        ]
+        ranked = rank_candidates(answers, k)
+        return BaselineResult(
+            answers=ranked,
+            nodes_popped=len(candidates),
+            terminated="exhausted",
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def _build_tree(
+        self, root: int, entries: List[TermIndexEntry]
+    ) -> AnswerTree:
+        paths: Dict[int, List[int]] = {}
+        score = 0.0
+        for column, entry in enumerate(entries):
+            path = [root]
+            while entry.distances[path[-1]] > 0:
+                path.append(int(entry.parents[path[-1]]))
+            paths[column] = path
+            score += len(path) - 1
+        return AnswerTree(root=root, paths=paths, score=score)

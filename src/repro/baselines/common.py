@@ -1,0 +1,103 @@
+"""Shared structures for the tree-producing baselines (BANKS family).
+
+The GST-style methods return *answer trees*: a root plus one path per
+keyword group from the root to a node of that group (Section II). The
+scoring convention follows BANKS-II as the paper characterizes it — "the
+sum of length of paths from root to every leaf node" — which is exactly
+the property the effectiveness study exploits (it is blind to keyword
+co-occurrence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass
+class AnswerTree:
+    """One BANKS-style answer.
+
+    Attributes:
+        root: the connecting root node.
+        paths: per keyword column, the node path root → leaf (the leaf
+            contains that keyword). A root containing the keyword itself
+            has the single-node path ``[root]``.
+        score: sum of path lengths (lower is better).
+    """
+
+    root: int
+    paths: Dict[int, List[int]]
+    score: float
+
+    @property
+    def nodes(self) -> Set[int]:
+        members: Set[int] = {self.root}
+        for path in self.paths.values():
+            members.update(path)
+        return members
+
+    @property
+    def edges(self) -> Set[Tuple[int, int]]:
+        tree_edges: Set[Tuple[int, int]] = set()
+        for path in self.paths.values():
+            for parent, child in zip(path, path[1:]):
+                tree_edges.add((parent, child))
+        return tree_edges
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def leaf_of(self, column: int) -> int:
+        return self.paths[column][-1]
+
+    def describe(self, node_text: Optional[List[str]] = None) -> str:
+        """Human-readable dump for examples and demos."""
+        def label(node: int) -> str:
+            if node_text is None:
+                return f"v{node}"
+            return f"v{node}:{node_text[node]!r}"
+
+        lines = [f"AnswerTree(root={label(self.root)}, score={self.score:.2f})"]
+        for column in sorted(self.paths):
+            path = " -> ".join(label(node) for node in self.paths[column])
+            lines.append(f"  t{column}: {path}")
+        return "\n".join(lines)
+
+
+@dataclass
+class BaselineResult:
+    """Top-k answers plus effort diagnostics from one baseline run.
+
+    Attributes:
+        answers: ranked answer trees, best first.
+        nodes_popped: priority-queue pops performed (search effort).
+        terminated: "bound", "exhausted" or "budget".
+    """
+
+    answers: List[AnswerTree]
+    nodes_popped: int = 0
+    terminated: str = "exhausted"
+    elapsed_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def answer_node_sets(self) -> List[Set[int]]:
+        return [answer.nodes for answer in self.answers]
+
+
+@dataclass(order=True)
+class _CandidateEntry:
+    sort_key: tuple
+    tree: AnswerTree = field(compare=False)
+
+
+def rank_candidates(candidates: List[AnswerTree], k: int) -> List[AnswerTree]:
+    """Best-first top-k with deterministic tie-breaking."""
+    entries = sorted(
+        _CandidateEntry((tree.score, tree.n_nodes, tree.root), tree)
+        for tree in candidates
+    )
+    return [entry.tree for entry in entries[:k]]

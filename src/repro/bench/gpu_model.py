@@ -1,0 +1,89 @@
+"""GPU memory & transfer cost model (Section V-B's sizing argument).
+
+The paper justifies the node-keyword matrix design with a concrete
+budget: on a 30M-node graph with 10 keywords, M is 300 MB at one byte
+per cell, and copying it back over a ~12 GB/s PCIe link costs ~25 ms —
+"small enough to produce real-time responses". GTX 1080 Ti global memory
+(11 GB) then bounds the graph sizes a single GPU can host.
+
+This module reproduces that arithmetic as an explicit cost model so the
+Table IV bench can report, for any (graph, query) size, what the
+paper's hardware would pay — the part of the evaluation that is pure
+accounting and therefore transfers exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.csr import KnowledgeGraph
+
+#: The paper's hardware constants.
+PCIE_BANDWIDTH_BYTES_PER_SEC = 12e9       # "around 12GB/sec from GPU to CPU"
+GTX_1080TI_GLOBAL_MEMORY_BYTES = 11 * 2**30
+GPU_MEMORY_BANDWIDTH_BYTES_PER_SEC = 480e9  # DDR5X, "480GB/s"
+
+
+@dataclass(frozen=True)
+class GpuCostEstimate:
+    """Cost-model output for one (graph, query) configuration.
+
+    Attributes:
+        matrix_bytes: the node-keyword matrix M (one byte per cell).
+        pre_storage_bytes: CSR adjacency + weights resident on device.
+        total_device_bytes: everything the GPU must hold during a query.
+        transfer_seconds: copying M back to the host after stage one.
+        fits_on_gtx1080ti: whether total_device_bytes fits in 11 GB.
+    """
+
+    matrix_bytes: int
+    pre_storage_bytes: int
+    total_device_bytes: int
+    transfer_seconds: float
+    fits_on_gtx1080ti: bool
+
+
+def estimate_gpu_costs(
+    n_nodes: int,
+    n_keywords: int,
+    pre_storage_bytes: int,
+    pcie_bandwidth: float = PCIE_BANDWIDTH_BYTES_PER_SEC,
+    device_memory: int = GTX_1080TI_GLOBAL_MEMORY_BYTES,
+) -> GpuCostEstimate:
+    """Apply the paper's cost arithmetic to arbitrary sizes.
+
+    Raises:
+        ValueError: on non-positive sizes or bandwidth.
+    """
+    if n_nodes <= 0 or n_keywords <= 0:
+        raise ValueError("n_nodes and n_keywords must be positive")
+    if pcie_bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+    matrix_bytes = n_nodes * n_keywords  # one byte per hitting level
+    flag_bytes = 2 * n_nodes             # FIdentifier + CIdentifier
+    total = pre_storage_bytes + matrix_bytes + flag_bytes
+    return GpuCostEstimate(
+        matrix_bytes=matrix_bytes,
+        pre_storage_bytes=pre_storage_bytes,
+        total_device_bytes=total,
+        transfer_seconds=matrix_bytes / pcie_bandwidth,
+        fits_on_gtx1080ti=total <= device_memory,
+    )
+
+
+def estimate_for_graph(
+    graph: KnowledgeGraph, n_keywords: int = 10
+) -> GpuCostEstimate:
+    """Cost estimate for a loaded graph (weights assumed float64)."""
+    weight_bytes = graph.n_nodes * 8
+    return estimate_gpu_costs(
+        graph.n_nodes, n_keywords, graph.storage_nbytes() + weight_bytes
+    )
+
+
+def paper_example_transfer_ms() -> float:
+    """The paper's own worked example: 30M nodes × 10 keywords → ~25 ms."""
+    estimate = estimate_gpu_costs(
+        n_nodes=30_000_000, n_keywords=10, pre_storage_bytes=0
+    )
+    return estimate.transfer_seconds * 1e3

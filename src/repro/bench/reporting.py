@@ -1,0 +1,109 @@
+"""Plain-text tables for benchmark output.
+
+The benchmarks print the same rows/series the paper plots; these helpers
+render them as aligned monospace tables so ``pytest benchmarks/`` output
+reads like the paper's figures in tabular form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..eval.precision import PrecisionRow
+from .harness import SweepRow
+from ..instrumentation import ALL_PHASES
+
+_SHORT_PHASE = {
+    "initialization": "init",
+    "enqueuing_frontiers": "enqueue",
+    "identifying_central_nodes": "identify",
+    "expansion": "expand",
+    "top_down_processing": "topdown",
+    "total": "total",
+}
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Align columns; numbers are rendered with sensible precision."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}" if abs(cell) < 100 else f"{cell:.1f}"
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in rendered)) if rendered else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sweep_table(rows: List[SweepRow], phases: Sequence[str] = ALL_PHASES) -> str:
+    """Render sweep rows with one column per phase (milliseconds)."""
+    headers = ["dataset", "method", "param", "value"] + [
+        f"{_SHORT_PHASE.get(phase, phase)}_ms" for phase in phases
+    ]
+    body = []
+    for row in rows:
+        cells: List[object] = [row.dataset, row.method, row.parameter, row.value]
+        for phase in phases:
+            cells.append(row.phase_ms.get(phase, 0.0))
+        body.append(cells)
+    return format_table(headers, body)
+
+
+def total_time_table(rows: List[SweepRow]) -> str:
+    """Compact view: total milliseconds only (the figures' "Total" panel)."""
+    headers = ["dataset", "param", "value"]
+    methods = sorted({row.method for row in rows})
+    headers += [f"{method}_ms" for method in methods]
+    by_point: Dict[tuple, Dict[str, float]] = {}
+    for row in rows:
+        key = (row.dataset, row.parameter, row.value)
+        by_point.setdefault(key, {})[row.method] = row.total_ms
+    body = []
+    for (dataset, parameter, value), totals in sorted(by_point.items()):
+        cells: List[object] = [dataset, parameter, value]
+        cells += [totals.get(method, float("nan")) for method in methods]
+        body.append(cells)
+    return format_table(headers, body)
+
+
+def precision_table(rows: List[PrecisionRow], cutoff: int) -> str:
+    """Fig. 11/12 as a table: queries × methods at one cut-off."""
+    methods = sorted({row.method for row in rows})
+    query_ids = sorted(
+        {row.query_id for row in rows}, key=lambda qid: int(qid.lstrip("Q"))
+    )
+    by_cell = {
+        (row.query_id, row.method): row.precision_at.get(cutoff, float("nan"))
+        for row in rows
+    }
+    headers = ["query"] + methods
+    body = []
+    for query_id in query_ids:
+        cells: List[object] = [query_id]
+        cells += [by_cell.get((query_id, method), float("nan")) for method in methods]
+        body.append(cells)
+    return format_table(headers, body)
+
+
+def distribution_table_text(
+    table: Dict[float, Dict[str, float]]
+) -> str:
+    """Fig. 3 as a table: activation-level buckets × α values."""
+    alphas = sorted(table)
+    buckets = list(next(iter(table.values()))) if table else []
+    headers = ["level"] + [f"alpha-{alpha}" for alpha in alphas]
+    body = []
+    for bucket in buckets:
+        cells: List[object] = [bucket]
+        cells += [table[alpha].get(bucket, 0.0) for alpha in alphas]
+        body.append(cells)
+    return format_table(headers, body)

@@ -1,0 +1,280 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — build a Wikidata-style synthetic KB and save it (graph
+  NPZ + inverted index) for later sessions;
+* ``stats``    — dataset statistics (the Table II row) for a saved or
+  freshly generated graph;
+* ``search``   — run a keyword query and print ranked Central Graphs,
+  optionally with predicate-level explanations or GraphViz DOT output;
+* ``bench``    — a quick single-machine profile (mini Fig. 6 row).
+
+Examples::
+
+    python -m repro generate --out /tmp/kb --scale wiki2017
+    python -m repro search --graph /tmp/kb "sql rdf knowledge" -k 5
+    python -m repro search "machine translation" --explain
+    python -m repro bench --knum 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .core.engine import EmptyQueryError, EngineConfig, KeywordSearchEngine
+from .graph.csr import KnowledgeGraph
+from .graph.generators import wiki2017_config, wiki2018_config, wiki_like_kb
+from .graph.io import load_graph, save_graph
+from .graph.sampling import estimate_average_distance
+from .parallel import SequentialBackend, ThreadPoolBackend, VectorizedBackend
+from .text.index_io import load_index, save_index
+from .text.inverted_index import InvertedIndex
+from .viz import central_graph_to_dot, explain_answer
+
+_SCALES = {"wiki2017": wiki2017_config, "wiki2018": wiki2018_config}
+_BACKENDS = {
+    "sequential": SequentialBackend,
+    "threads": ThreadPoolBackend,
+    "vectorized": VectorizedBackend,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Central Graph keyword search on knowledge graphs",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate or import a KB and save it"
+    )
+    generate.add_argument("--out", required=True,
+                          help="output path prefix (writes <out>.npz etc.)")
+    generate.add_argument("--scale", choices=sorted(_SCALES), default="wiki2017")
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument(
+        "--from-wikidata", metavar="DUMP",
+        help="import a Wikidata JSON dump instead of generating",
+    )
+    generate.add_argument(
+        "--max-entities", type=int, default=None,
+        help="with --from-wikidata: sample only the first N entities",
+    )
+
+    stats = commands.add_parser("stats", help="print dataset statistics")
+    stats.add_argument("--graph", help="saved graph path (default: generate)")
+    stats.add_argument("--pairs", type=int, default=2000,
+                       help="sampled pairs for the average distance")
+
+    search = commands.add_parser("search", help="run a keyword query")
+    search.add_argument("query", help='query string; quotes mark phrases')
+    search.add_argument("--graph", help="saved graph path (default: generate)")
+    search.add_argument("-k", "--topk", type=int, default=5)
+    search.add_argument("--alpha", type=float, default=0.1)
+    search.add_argument("--backend", choices=sorted(_BACKENDS),
+                        default="vectorized")
+    search.add_argument("--explain", action="store_true",
+                        help="print predicate-level explanations")
+    search.add_argument("--dot", metavar="FILE",
+                        help="write the top answer as GraphViz DOT")
+
+    bench = commands.add_parser("bench", help="quick single-machine profile")
+    bench.add_argument("--graph", help="saved graph path (default: generate)")
+    bench.add_argument("--knum", type=int, default=6)
+    bench.add_argument("--queries", type=int, default=5)
+
+    serve = commands.add_parser(
+        "serve", help="run the WikiSearch-style HTTP service"
+    )
+    serve.add_argument("--graph", help="saved graph path (default: generate)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8377)
+    serve.add_argument(
+        "--check",
+        action="store_true",
+        help="start, self-query /healthz and one search, then exit "
+             "(smoke mode; also used by tests)",
+    )
+    return parser
+
+
+def _load_or_generate(path: Optional[str]) -> "tuple[KnowledgeGraph, InvertedIndex]":
+    if path:
+        graph = load_graph(path)
+        try:
+            index = load_index(path + ".index")
+        except FileNotFoundError:
+            index = InvertedIndex.from_graph(graph)
+        return graph, index
+    graph, _ = wiki_like_kb()
+    return graph, InvertedIndex.from_graph(graph)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    start = time.perf_counter()
+    if args.from_wikidata:
+        from .graph.wikidata import COMMON_PROPERTY_LABELS, load_wikidata_dump
+
+        graph, stats = load_wikidata_dump(
+            args.from_wikidata,
+            property_labels=COMMON_PROPERTY_LABELS,
+            max_entities=args.max_entities,
+        )
+        source = (
+            f"imported {stats.entities_kept}/{stats.entities_seen} entities "
+            f"({stats.edges_added} edges) from {args.from_wikidata}"
+        )
+    else:
+        config = (
+            _SCALES[args.scale]()
+            if args.seed is None
+            else _SCALES[args.scale](args.seed)
+        )
+        graph, _ = wiki_like_kb(config)
+        source = f"generated {config.name}"
+    index = InvertedIndex.from_graph(graph)
+    save_graph(graph, args.out)
+    save_index(index, args.out + ".index")
+    elapsed = time.perf_counter() - start
+    print(f"{source}: {graph.n_nodes} nodes, "
+          f"{graph.n_edges} edges, {index.n_terms} terms "
+          f"({elapsed:.1f}s) -> {args.out}.npz")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph, index = _load_or_generate(args.graph)
+    estimate = estimate_average_distance(graph, n_pairs=args.pairs)
+    degrees = graph.degree_statistics()
+    print(f"nodes:            {graph.n_nodes}")
+    print(f"edges:            {graph.n_edges}")
+    print(f"predicates:       {len(graph.predicates)}")
+    print(f"indexed terms:    {index.n_terms}")
+    print(f"avg distance A:   {estimate.average:.2f} "
+          f"(deviation {estimate.deviation:.2f}, "
+          f"{estimate.n_sampled} sampled pairs)")
+    print(f"degree max/mean:  {degrees['max']:.0f} / {degrees['mean']:.2f}")
+    print("most frequent terms:")
+    for term, count in index.most_frequent_terms(8):
+        print(f"  {term:20} {count}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    graph, index = _load_or_generate(args.graph)
+    backend = _BACKENDS[args.backend]()
+    engine = KeywordSearchEngine(
+        graph, backend=backend, index=index,
+        config=EngineConfig(topk=args.topk, alpha=args.alpha),
+    )
+    try:
+        result = engine.search(args.query, k=args.topk, alpha=args.alpha)
+    except EmptyQueryError as error:
+        from .text.suggest import suggest_for_dropped
+
+        print(f"error: {error}", file=sys.stderr)
+        suggestions = suggest_for_dropped(index, args.query.split())
+        for term, candidates in suggestions.items():
+            print(f"did you mean ({term}): {', '.join(candidates)}",
+                  file=sys.stderr)
+        return 2
+    finally:
+        backend.close()
+    ms = result.milliseconds()
+    print(f"keywords: {', '.join(result.keywords)}"
+          + (f"  (dropped: {', '.join(result.dropped_terms)})"
+             if result.dropped_terms else ""))
+    print(f"{len(result.answers)} answers in {ms['total']:.1f} ms "
+          f"(d={result.depth}, {result.n_central_nodes} central nodes)\n")
+    for rank, answer in enumerate(result.answers, start=1):
+        print(f"--- answer {rank} (score {answer.score:.4f}) ---")
+        if args.explain:
+            print(explain_answer(answer.graph, graph, result.keywords))
+        else:
+            print(answer.graph.describe(graph.node_text))
+        print()
+    if args.dot and result.answers:
+        dot = central_graph_to_dot(
+            result.answers[0].graph, graph, result.keywords
+        )
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(dot + "\n")
+        print(f"wrote GraphViz DOT of the top answer to {args.dot}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .eval.queries import KeywordWorkload
+    from .instrumentation import average_timers
+
+    graph, index = _load_or_generate(args.graph)
+    engine = KeywordSearchEngine(graph, backend=VectorizedBackend(), index=index)
+    workload = KeywordWorkload(index, seed=0)
+    queries = workload.sample_queries(args.knum, args.queries)
+    timers = [engine.search(query).timer for query in queries]
+    averaged = average_timers(timers)
+    print(f"{args.queries} queries x {args.knum} keywords "
+          f"on {graph.n_nodes} nodes (vectorized backend):")
+    for phase, value in averaged.items():
+        print(f"  {phase:28} {value:8.2f} ms")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import threading
+    import urllib.request
+
+    from .service import create_server
+
+    graph, index = _load_or_generate(args.graph)
+    engine = KeywordSearchEngine(
+        graph, backend=VectorizedBackend(), index=index
+    )
+    port = 0 if args.check else args.port
+    server = create_server(engine, host=args.host, port=port)
+    host, bound_port = server.server_address
+    print(f"serving on http://{host}:{bound_port}/  (Ctrl-C to stop)")
+    if args.check:
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            base = f"http://{host}:{bound_port}"
+            with urllib.request.urlopen(base + "/healthz", timeout=30) as r:
+                health = json.loads(r.read())
+            print(f"healthz: {health}")
+            with urllib.request.urlopen(
+                base + "/search?q=knowledge&k=1", timeout=60
+            ) as r:
+                payload = json.loads(r.read())
+            print(f"search smoke: {len(payload.get('answers', []))} answer(s)")
+            return 0
+        finally:
+            server.shutdown()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "stats": _cmd_stats,
+        "search": _cmd_search,
+        "bench": _cmd_bench,
+        "serve": _cmd_serve,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Core contribution: Central Graph search (weights, activation, two stages)."""
+
+from .activation import ActivationModel, activation_distribution, activation_levels
+from .bottom_up import BottomUpResult, BottomUpSearch
+from .central_graph import CentralGraph, SearchAnswer
+from .engine import EmptyQueryError, EngineConfig, KeywordSearchEngine, SearchResult
+from .scoring import DEFAULT_LAMBDA, TopKHeap, central_graph_score
+from .state import INFINITE_LEVEL, MAX_LEVEL, SearchState
+from .top_down import (
+    TopDownConfig,
+    deduplicate_by_containment,
+    extract_central_graph,
+    level_cover_prune,
+    process_top_down,
+)
+from .weights import node_weights, normalize_weights, raw_degree_of_summary
+
+__all__ = [
+    "ActivationModel",
+    "BottomUpResult",
+    "BottomUpSearch",
+    "CentralGraph",
+    "DEFAULT_LAMBDA",
+    "EmptyQueryError",
+    "EngineConfig",
+    "INFINITE_LEVEL",
+    "KeywordSearchEngine",
+    "MAX_LEVEL",
+    "SearchAnswer",
+    "SearchResult",
+    "SearchState",
+    "TopDownConfig",
+    "TopKHeap",
+    "activation_distribution",
+    "activation_levels",
+    "central_graph_score",
+    "deduplicate_by_containment",
+    "extract_central_graph",
+    "level_cover_prune",
+    "node_weights",
+    "normalize_weights",
+    "process_top_down",
+    "raw_degree_of_summary",
+]

@@ -1,0 +1,178 @@
+"""Bottom-up search: solve the top-(k,d) Central Graph Problem (Section V-B).
+
+One BFS-like instance per keyword expands level-synchronously from its
+source set ``T_i``. Each global level runs three joined steps (Algorithm 1):
+
+1. *enqueue frontiers* — drain FIdentifier into the joint frontier array;
+2. *identify Central Nodes* — frontiers whose M row is fully finite become
+   Central Nodes at depth = current level (Lemma V.1);
+3. *expansion* — Algorithm 2, delegated to a pluggable backend.
+
+The loop stops at the smallest level ``d`` where at least ``k`` Central
+Nodes exist (Theorem V.3), when the frontier drains empty, or at the
+``lmax`` safety bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..instrumentation import (
+    PHASE_ENQUEUE,
+    PHASE_EXPANSION,
+    PHASE_IDENTIFY,
+    PHASE_INITIALIZATION,
+    PhaseTimer,
+)
+from ..graph.csr import KnowledgeGraph
+from ..parallel.backend import ExpansionBackend
+from ..parallel.sequential import SequentialBackend
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .trace import SearchTrace
+
+from .state import (
+    MAX_LEVEL,
+    TERMINATED_ENOUGH_ANSWERS,
+    TERMINATED_FRONTIER_EMPTY,
+    TERMINATED_LEVEL_CAP,
+    SearchState,
+)
+
+
+@dataclass
+class BottomUpResult:
+    """Everything stage two needs, plus diagnostics.
+
+    Attributes:
+        state: the final search state (M matrix, central nodes, flags).
+        depth: the ``d`` of top-(k,d) — the level at which enough Central
+            Nodes existed — or the last level searched when fewer than
+            ``k`` exist in total.
+        levels_executed: number of expansion levels actually run.
+        terminated: one of the ``TERMINATED_*`` reasons.
+        peak_state_nbytes: max dynamic memory observed (Table IV).
+    """
+
+    state: SearchState
+    depth: int
+    levels_executed: int
+    terminated: str
+    peak_state_nbytes: int
+    timer: PhaseTimer
+
+    @property
+    def central_nodes(self) -> List[Tuple[int, int]]:
+        return self.state.central_nodes
+
+
+class BottomUpSearch:
+    """Runs the bottom-up stage with a given expansion backend.
+
+    Args:
+        graph: the knowledge graph.
+        backend: expansion strategy; defaults to the sequential reference.
+        lmax: hard cap on BFS levels. The node-keyword matrix stores levels
+            in one byte, so ``lmax`` may not exceed 254; disconnected or
+            never-activating keywords otherwise loop needlessly.
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        backend: Optional[ExpansionBackend] = None,
+        lmax: int = 24,
+    ) -> None:
+        if not (1 <= lmax <= MAX_LEVEL):
+            raise ValueError(f"lmax must be in [1, {MAX_LEVEL}], got {lmax}")
+        self.graph = graph
+        self.backend = backend or SequentialBackend()
+        self.lmax = lmax
+
+    def run(
+        self,
+        keyword_node_sets: Sequence[np.ndarray],
+        activation: np.ndarray,
+        k: int,
+        timer: Optional[PhaseTimer] = None,
+        observer: Optional["SearchTrace"] = None,
+    ) -> BottomUpResult:
+        """Search until at least ``k`` Central Nodes are identified.
+
+        Args:
+            keyword_node_sets: one source node array per keyword (every
+                set must be non-empty — the engine drops unmatched terms).
+            activation: per-node minimum activation levels for this α.
+            k: the top-k target; the stage collects *all* Central Nodes of
+                depth ≤ d for the smallest sufficient d (Definition 4).
+            observer: optional :class:`repro.core.trace.SearchTrace`-like
+                object receiving per-level callbacks.
+
+        Raises:
+            ValueError: if ``k < 1`` or any keyword set is empty.
+        """
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        for column, nodes in enumerate(keyword_node_sets):
+            if len(nodes) == 0:
+                raise ValueError(
+                    f"keyword column {column} has an empty source set; "
+                    "drop unmatched keywords before searching"
+                )
+        timer = timer or PhaseTimer()
+        # Seed every loop phase so short-circuited searches (e.g. all
+        # sources already central at level 0) still report a full profile.
+        for phase in (PHASE_ENQUEUE, PHASE_IDENTIFY, PHASE_EXPANSION):
+            timer.add(phase, 0.0)
+
+        with timer.phase(PHASE_INITIALIZATION):
+            state = SearchState.initialize(
+                self.graph.n_nodes, keyword_node_sets, activation
+            )
+        peak_nbytes = state.nbytes()
+
+        infinite_cells = int(np.count_nonzero(state.matrix == 255))
+        level = 0
+        levels_executed = 0
+        terminated = TERMINATED_LEVEL_CAP
+        while level <= self.lmax:
+            with timer.phase(PHASE_ENQUEUE):
+                n_frontier = state.enqueue_frontiers()
+            if n_frontier == 0:
+                terminated = TERMINATED_FRONTIER_EMPTY
+                break
+            if observer is not None:
+                observer.on_level_start(level, n_frontier)
+            with timer.phase(PHASE_IDENTIFY):
+                found = state.identify_central_nodes(level)
+            if observer is not None and found:
+                observer.on_central_nodes(found)
+            if state.n_central_nodes >= k:
+                terminated = TERMINATED_ENOUGH_ANSWERS
+                break
+            if level == self.lmax:
+                break
+            with timer.phase(PHASE_EXPANSION):
+                self.backend.expand(self.graph, state, level)
+            if observer is not None:
+                remaining = int(np.count_nonzero(state.matrix == 255))
+                observer.on_expansion_done(infinite_cells - remaining)
+                infinite_cells = remaining
+            levels_executed += 1
+            peak_nbytes = max(peak_nbytes, state.nbytes())
+            level += 1
+
+        if state.central_nodes:
+            depth = max(found_depth for _, found_depth in state.central_nodes)
+        else:
+            depth = level
+        return BottomUpResult(
+            state=state,
+            depth=depth,
+            levels_executed=levels_executed,
+            terminated=terminated,
+            peak_state_nbytes=peak_nbytes,
+            timer=timer,
+        )

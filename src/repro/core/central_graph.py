@@ -1,0 +1,189 @@
+"""Central Graph answer objects (Definition 3).
+
+A Central Graph ``C`` centered at ``v_j`` is the union over every query
+keyword of *all* hitting paths from that keyword's source nodes to
+``v_j``. Unlike Steiner trees it may contain cycles and several nodes
+carrying the same keyword (Fig. 1), which is what makes graph-shaped
+answers compact yet information-rich.
+
+Edges are stored in hitting-DAG orientation: ``(u, v)`` means ``u``
+expanded to ``v`` during the bottom-up search, so every node has a
+directed path to the central node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import AbstractSet, Dict, FrozenSet, List, Optional, Set, Tuple
+
+
+@dataclass
+class CentralGraph:
+    """One keyword-search answer.
+
+    Attributes:
+        central_node: the Central Node ``v_j``.
+        depth: ``d(C)`` — the largest hitting level of the central node
+            over all keywords (Eq. 1 / Lemma V.1).
+        nodes: every node on some hitting path (central node included).
+        edges: hitting-DAG edges ``(u, v)`` = "u expanded to v".
+        keyword_contributions: for each member node that is a keyword
+            source, the set of keyword columns it contains.
+        score: ranking score (Eq. 6); filled in by the scorer.
+        pruned: whether level-cover pruning has been applied.
+    """
+
+    central_node: int
+    depth: int
+    nodes: Set[int]
+    edges: Set[Tuple[int, int]]
+    keyword_contributions: Dict[int, FrozenSet[int]]
+    score: Optional[float] = None
+    pruned: bool = False
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+    def keyword_nodes(self) -> List[int]:
+        """Member nodes that contribute at least one keyword."""
+        return sorted(self.keyword_contributions)
+
+    def covered_keywords(self) -> FrozenSet[int]:
+        """Union of keyword columns contributed by member nodes."""
+        covered: Set[int] = set()
+        for columns in self.keyword_contributions.values():
+            covered |= columns
+        return frozenset(covered)
+
+    def covers_all(self, n_keywords: int) -> bool:
+        return self.covered_keywords() == frozenset(range(n_keywords))
+
+    # ------------------------------------------------------------------
+    # Structure checks used by tests and the pruner
+    # ------------------------------------------------------------------
+    def successors(self) -> Dict[int, List[int]]:
+        """Hitting-DAG adjacency: node → nodes it expanded to."""
+        adjacency: Dict[int, List[int]] = {node: [] for node in self.nodes}
+        for source, target in self.edges:
+            adjacency[source].append(target)
+        return adjacency
+
+    def predecessors(self) -> Dict[int, List[int]]:
+        """Reverse hitting-DAG adjacency: node → nodes that expanded to it."""
+        adjacency: Dict[int, List[int]] = {node: [] for node in self.nodes}
+        for source, target in self.edges:
+            adjacency[target].append(source)
+        return adjacency
+
+    def all_nodes_reach_central(self) -> bool:
+        """Invariant: every member node has a DAG path to the central node."""
+        reached = {self.central_node}
+        stack = [self.central_node]
+        predecessors = self.predecessors()
+        while stack:
+            node = stack.pop()
+            for pred in predecessors[node]:
+                if pred not in reached:
+                    reached.add(pred)
+                    stack.append(pred)
+        return reached == self.nodes
+
+    def contains(self, other: "CentralGraph") -> bool:
+        """True when this answer's node set strictly contains ``other``'s.
+
+        Used by the repetition filter: "we remove the Central Graph that
+        completely contains smaller ones" (Section VI-B).
+        """
+        return self.nodes > other.nodes
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def restricted_to(self, kept: AbstractSet[int]) -> "CentralGraph":
+        """A copy containing only ``kept`` nodes and the edges among them."""
+        if self.central_node not in kept:
+            raise ValueError("cannot prune away the central node")
+        return CentralGraph(
+            central_node=self.central_node,
+            depth=self.depth,
+            nodes=set(kept) & self.nodes,
+            edges={(u, v) for (u, v) in self.edges if u in kept and v in kept},
+            keyword_contributions={
+                node: columns
+                for node, columns in self.keyword_contributions.items()
+                if node in kept
+            },
+            score=self.score,
+            pruned=True,
+        )
+
+    def to_networkx(self):  # pragma: no cover - convenience export
+        """Export as a ``networkx.DiGraph`` (requires networkx)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for node in self.nodes:
+            graph.add_node(
+                node,
+                central=(node == self.central_node),
+                keywords=sorted(self.keyword_contributions.get(node, ())),
+            )
+        graph.add_edges_from(self.edges)
+        return graph
+
+    def describe(self, node_text: Optional[List[str]] = None) -> str:
+        """Human-readable one-answer summary for examples and demos."""
+        def label(node: int) -> str:
+            if node_text is None:
+                return f"v{node}"
+            return f"v{node}:{node_text[node]!r}"
+
+        lines = [
+            f"CentralGraph(central={label(self.central_node)}, depth={self.depth}, "
+            f"nodes={self.n_nodes}, edges={self.n_edges}, score={self.score})"
+        ]
+        for node in sorted(self.nodes):
+            marks = []
+            if node == self.central_node:
+                marks.append("CENTRAL")
+            columns = self.keyword_contributions.get(node)
+            if columns:
+                marks.append("keywords=" + ",".join(map(str, sorted(columns))))
+            suffix = f"  [{' '.join(marks)}]" if marks else ""
+            lines.append(f"  {label(node)}{suffix}")
+        return "\n".join(lines)
+
+
+@dataclass
+class SearchAnswer:
+    """A ranked engine result: the pruned Central Graph plus query context.
+
+    Attributes:
+        graph: the (level-cover pruned) Central Graph.
+        keywords: the normalized query terms, in column order.
+    """
+
+    graph: CentralGraph
+    keywords: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def score(self) -> float:
+        return float(self.graph.score) if self.graph.score is not None else 0.0
+
+    def keyword_text_coverage(self) -> Dict[str, List[int]]:
+        """Map each query term to the member nodes contributing it."""
+        coverage: Dict[str, List[int]] = {term: [] for term in self.keywords}
+        for node, columns in self.graph.keyword_contributions.items():
+            for column in columns:
+                coverage[self.keywords[column]].append(node)
+        for nodes in coverage.values():
+            nodes.sort()
+        return coverage

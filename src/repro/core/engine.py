@@ -1,0 +1,255 @@
+"""The end-to-end keyword search engine (the paper's "WikiSearch").
+
+Wires together the substrates: the inverted keyword index supplies each
+term's source set ``T_i``; degree-of-summary weights plus the sampled
+average distance feed the Penalty-and-Reward activation mapping; the
+bottom-up stage (on a pluggable parallel backend) solves top-(k,d); the
+top-down stage extracts, prunes, deduplicates and ranks.
+
+Typical use::
+
+    engine = KeywordSearchEngine(graph)
+    result = engine.search("xml rdf sql", k=20, alpha=0.1)
+    for answer in result.answers:
+        print(answer.graph.describe(graph.node_text))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..instrumentation import PHASE_TOTAL, PhaseTimer, StorageReport
+from ..graph.csr import KnowledgeGraph
+from ..graph.sampling import estimate_average_distance
+from ..parallel.backend import ExpansionBackend
+from ..text.inverted_index import InvertedIndex
+from ..text.tokenizer import Tokenizer
+from .activation import ActivationModel
+from .bottom_up import BottomUpSearch
+from .central_graph import SearchAnswer
+from .results import EmptyQueryError, SearchResult
+from .scoring import DEFAULT_LAMBDA
+from .state import SearchState
+from .top_down import TopDownConfig, process_top_down
+from .weights import node_weights
+
+
+@dataclass
+class EngineConfig:
+    """Engine-level defaults (Table III's parameters).
+
+    Attributes:
+        topk: answers returned per query (paper default 20).
+        alpha: activation preference knob (paper default 0.1).
+        lam: Eq. 6's λ (paper default 0.2).
+        lmax: bottom-up level cap.
+        top_down_threads: stage-two extraction parallelism.
+        distance_sample_pairs: pairs sampled to estimate A at startup.
+        apply_level_cover / deduplicate / single_path: ablation switches.
+    """
+
+    topk: int = 20
+    alpha: float = 0.1
+    lam: float = DEFAULT_LAMBDA
+    lmax: int = 24
+    top_down_threads: int = 1
+    distance_sample_pairs: int = 2000
+    apply_level_cover: bool = True
+    deduplicate: bool = True
+    single_path: bool = False
+    seed: int = 0
+
+
+class KeywordSearchEngine:
+    """Central Graph keyword search over one knowledge graph.
+
+    Construction performs the offline work (index build, Eq. 2 weights,
+    A estimation); :meth:`search` is the online path. Activation levels
+    are cached per α so repeated queries pay only array lookups.
+
+    Args:
+        graph: the knowledge graph to search.
+        backend: expansion backend; defaults to the sequential reference.
+            Pass :class:`~repro.parallel.VectorizedBackend` for the
+            "GPU-Par" analogue or a ``ThreadPoolBackend`` for "CPU-Par".
+        config: engine defaults; fields are overridable per query.
+        index: a prebuilt inverted index (built from the graph if omitted).
+        weights: precomputed normalized weights (computed if omitted).
+        average_distance: precomputed A (sampled if omitted).
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        backend: Optional[ExpansionBackend] = None,
+        config: Optional[EngineConfig] = None,
+        index: Optional[InvertedIndex] = None,
+        weights: Optional[np.ndarray] = None,
+        average_distance: Optional[float] = None,
+        tokenizer: Optional[Tokenizer] = None,
+    ) -> None:
+        self.graph = graph
+        self.config = config or EngineConfig()
+        self.index = index or InvertedIndex.from_graph(graph, tokenizer)
+        self.weights = (
+            np.asarray(weights, dtype=np.float64)
+            if weights is not None
+            else node_weights(graph)
+        )
+        if len(self.weights) != graph.n_nodes:
+            raise ValueError("weights array must have one entry per node")
+        if average_distance is None:
+            estimate = estimate_average_distance(
+                graph,
+                n_pairs=self.config.distance_sample_pairs,
+                seed=self.config.seed,
+            )
+            average_distance = estimate.average
+        self.average_distance = float(average_distance)
+        self._searcher = BottomUpSearch(
+            graph, backend=backend, lmax=self.config.lmax
+        )
+        self._activation_cache: Dict[float, ActivationModel] = {}
+
+    # ------------------------------------------------------------------
+    # Offline pieces
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> ExpansionBackend:
+        return self._searcher.backend
+
+    def activation_for(self, alpha: float) -> np.ndarray:
+        """Per-node minimum activation levels for ``alpha`` (cached)."""
+        model = self._activation_cache.get(alpha)
+        if model is None:
+            model = ActivationModel.from_weights(
+                self.weights, self.average_distance, alpha
+            )
+            self._activation_cache[alpha] = model
+        return model.levels
+
+    # ------------------------------------------------------------------
+    # Online path
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: str,
+        k: Optional[int] = None,
+        alpha: Optional[float] = None,
+        lam: Optional[float] = None,
+        activation_override: Optional[np.ndarray] = None,
+    ) -> SearchResult:
+        """Answer a free-text keyword query.
+
+        Args:
+            query: raw query string; tokenized/stemmed like indexed text.
+                Quoted groups (``'"gradient descent" xml'``) become
+                phrase keywords whose source set is the nodes containing
+                *all* words of the phrase.
+            k / alpha / lam: per-query overrides of the engine defaults.
+            activation_override: bypass the Penalty-and-Reward mapping
+                with explicit per-node activation levels (used to replay
+                the paper's Fig. 4 trace and by ablations).
+
+        Raises:
+            EmptyQueryError: when no term matches any node.
+        """
+        from ..text.query_parser import parse_query, resolve_keyword_groups
+
+        pairs = resolve_keyword_groups(parse_query(query), self.index)
+        return self._search_pairs(pairs, k, alpha, lam, activation_override)
+
+    def search_terms(
+        self,
+        terms: Sequence[str],
+        k: Optional[int] = None,
+        alpha: Optional[float] = None,
+        lam: Optional[float] = None,
+        activation_override: Optional[np.ndarray] = None,
+    ) -> SearchResult:
+        """Like :meth:`search` for an already-split list of terms."""
+        return self.search(" ".join(terms), k, alpha, lam, activation_override)
+
+    def _search_pairs(
+        self,
+        pairs: "List[tuple[str, np.ndarray]]",
+        k: Optional[int],
+        alpha: Optional[float],
+        lam: Optional[float],
+        activation_override: Optional[np.ndarray],
+    ) -> SearchResult:
+        k = k if k is not None else self.config.topk
+        alpha = alpha if alpha is not None else self.config.alpha
+        lam = lam if lam is not None else self.config.lam
+
+        keywords = tuple(term for term, nodes in pairs if len(nodes) > 0)
+        dropped = tuple(term for term, nodes in pairs if len(nodes) == 0)
+        node_sets = [nodes for _, nodes in pairs if len(nodes) > 0]
+        if not node_sets:
+            raise EmptyQueryError(
+                "no query term matches any node "
+                f"(dropped: {', '.join(dropped) or '<empty query>'})"
+            )
+        if activation_override is not None:
+            activation = np.asarray(activation_override, dtype=np.int32)
+        else:
+            activation = self.activation_for(alpha)
+
+        timer = PhaseTimer()
+        with timer.phase(PHASE_TOTAL):
+            bottom_up = self._searcher.run(node_sets, activation, k, timer=timer)
+            ranked = process_top_down(
+                self.graph,
+                bottom_up.state,
+                self.weights,
+                config=TopDownConfig(
+                    k=k,
+                    lam=lam,
+                    apply_level_cover=self.config.apply_level_cover,
+                    deduplicate=self.config.deduplicate,
+                    single_path=self.config.single_path,
+                    n_threads=self.config.top_down_threads,
+                ),
+                timer=timer,
+            )
+        answers = [SearchAnswer(graph=g, keywords=keywords) for g in ranked]
+        return SearchResult(
+            answers=answers,
+            keywords=keywords,
+            dropped_terms=dropped,
+            depth=bottom_up.depth,
+            n_central_nodes=bottom_up.state.n_central_nodes,
+            terminated=bottom_up.terminated,
+            timer=timer,
+            peak_state_nbytes=bottom_up.peak_state_nbytes,
+        )
+
+    # ------------------------------------------------------------------
+    # Storage accounting (Table IV)
+    # ------------------------------------------------------------------
+    def pre_storage_nbytes(self) -> int:
+        """CSR adjacency + node weights, resident before any query."""
+        return self.graph.storage_nbytes() + int(self.weights.nbytes)
+
+    def storage_report(self, knum: int = 8) -> StorageReport:
+        """Table IV's pre-storage vs. maximum running storage for ``knum``.
+
+        The running figure adds the per-query dynamic state sized for a
+        ``knum``-keyword query (M is Θ(|V|·q) at one byte per cell).
+        """
+        dummy_sets = [np.zeros(1, dtype=np.int64)] * knum
+        state = SearchState.initialize(
+            self.graph.n_nodes,
+            dummy_sets,
+            np.zeros(self.graph.n_nodes, dtype=np.int32),
+        )
+        # Assume the worst case where every node is enqueued once.
+        frontier_bytes = self.graph.n_nodes * np.dtype(np.int64).itemsize
+        running = self.pre_storage_nbytes() + state.nbytes() + frontier_bytes
+        return StorageReport(
+            pre_storage=self.pre_storage_nbytes(),
+            max_running_storage=running,
+        )

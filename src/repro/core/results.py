@@ -1,0 +1,53 @@
+"""Query result types shared by every engine variant.
+
+Both the matrix-based :class:`~repro.core.engine.KeywordSearchEngine` and
+the locked :class:`~repro.parallel.locked.LockedDictEngine` return the
+same :class:`SearchResult`, so benchmarks and the relevance judge treat
+the variants interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..instrumentation import PhaseTimer
+from .central_graph import SearchAnswer
+
+
+class EmptyQueryError(ValueError):
+    """Raised when no query term matches any node in the graph."""
+
+
+@dataclass
+class SearchResult:
+    """Everything a caller learns from one query.
+
+    Attributes:
+        answers: final ranked answers, best first.
+        keywords: normalized terms that actually ran (column order).
+        dropped_terms: normalized terms with empty ``T_i`` (silently
+            dropped, mirroring a search engine's behaviour on unknown
+            words; dropping the whole query raises
+            :class:`EmptyQueryError` instead).
+        depth: the ``d`` of the solved top-(k,d) problem.
+        n_central_nodes: Central Nodes identified by stage one.
+        terminated: stage-one termination reason.
+        timer: per-phase wall-clock times.
+        peak_state_nbytes: peak dynamic memory of this query (Table IV).
+    """
+
+    answers: List[SearchAnswer]
+    keywords: Tuple[str, ...]
+    dropped_terms: Tuple[str, ...]
+    depth: int
+    n_central_nodes: int
+    terminated: str
+    timer: PhaseTimer
+    peak_state_nbytes: int
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def milliseconds(self) -> Dict[str, float]:
+        return self.timer.milliseconds()

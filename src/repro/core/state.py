@@ -1,0 +1,185 @@
+"""Shared search state for the bottom-up stage (Section V-B).
+
+Three flat arrays realize the paper's lock-free design:
+
+* ``FIdentifier`` — 1 for nodes that become frontiers in the next
+  iteration; reset after each enqueue.
+* ``CIdentifier`` — 1 for nodes already identified as Central Nodes; such
+  nodes never expand again.
+* ``M`` — the node-keyword matrix of hitting levels; ``M[v][i]`` is the
+  hitting level of node ``v`` w.r.t. keyword ``t_i`` (0 for the keyword's
+  own source nodes, ∞ before the BFS instance reaches ``v``).
+
+The paper stores one byte per matrix cell ("one byte is all we need to
+record a hitting level"); we keep the same uint8 layout with 255 as ∞,
+which caps the maximum BFS level at 254 — far above any practical
+expansion depth given A ≈ 4.
+
+All writes during expansion are idempotent (always 1, or always the
+current level + 1), which is exactly what makes the procedure lock-free
+(Theorem V.2): racing writers write the same value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+INFINITE_LEVEL = np.uint8(255)
+MAX_LEVEL = 254
+
+# Why the bottom-up loop stopped (shared by every engine variant).
+TERMINATED_ENOUGH_ANSWERS = "enough_central_nodes"
+TERMINATED_FRONTIER_EMPTY = "frontier_empty"
+TERMINATED_LEVEL_CAP = "level_cap"
+
+
+@dataclass
+class SearchState:
+    """Mutable per-query state shared by every expansion backend.
+
+    Attributes:
+        matrix: the (n_nodes × q) uint8 hitting-level matrix M.
+        f_identifier: frontier flags for the *next* iteration.
+        c_identifier: central-node flags.
+        central_level: per-node BFS level at which the node was identified
+            as a Central Node (-1 otherwise). Needed by extraction: an
+            identified Central Node stops expanding (Section III-B), so a
+            hitting path cannot pass through it beyond that level.
+        keyword_node: bool mask — does the node contain any query keyword?
+            (Keyword nodes may be *hit* regardless of activation, Sec IV-B.)
+        activation: per-node minimum activation levels a_i for this query's α.
+        frontier: node ids expanding at the current level.
+        central_nodes: (node, depth) pairs in identification order.
+    """
+
+    matrix: np.ndarray
+    f_identifier: np.ndarray
+    c_identifier: np.ndarray
+    keyword_node: np.ndarray
+    activation: np.ndarray
+    central_level: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int16)
+    )
+    frontier: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    central_nodes: List[Tuple[int, int]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Construction (the "Initialization" phase of Fig. 6/7)
+    # ------------------------------------------------------------------
+    @classmethod
+    def initialize(
+        cls,
+        n_nodes: int,
+        keyword_node_sets: Sequence[np.ndarray],
+        activation: np.ndarray,
+    ) -> "SearchState":
+        """Set up M, FIdentifier and CIdentifier for one query.
+
+        Every node in ``keyword_node_sets[i]`` gets ``M[v][i] = 0`` and is
+        flagged as an initial frontier (BFS instances start at their source
+        sets with expansion level 0).
+
+        Raises:
+            ValueError: if there are no keywords or activation is missized.
+        """
+        q = len(keyword_node_sets)
+        if q == 0:
+            raise ValueError("need at least one keyword node set")
+        if len(activation) != n_nodes:
+            raise ValueError("activation array must have one entry per node")
+        matrix = np.full((n_nodes, q), INFINITE_LEVEL, dtype=np.uint8)
+        f_identifier = np.zeros(n_nodes, dtype=np.uint8)
+        keyword_node = np.zeros(n_nodes, dtype=bool)
+        for column, nodes in enumerate(keyword_node_sets):
+            nodes = np.asarray(nodes, dtype=np.int64)
+            matrix[nodes, column] = 0
+            f_identifier[nodes] = 1
+            keyword_node[nodes] = True
+        return cls(
+            matrix=matrix,
+            f_identifier=f_identifier,
+            c_identifier=np.zeros(n_nodes, dtype=np.uint8),
+            keyword_node=keyword_node,
+            activation=np.asarray(activation, dtype=np.int32),
+            central_level=np.full(n_nodes, -1, dtype=np.int16),
+        )
+
+    # ------------------------------------------------------------------
+    # Shape helpers
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def n_keywords(self) -> int:
+        return self.matrix.shape[1]
+
+    @property
+    def n_central_nodes(self) -> int:
+        return len(self.central_nodes)
+
+    # ------------------------------------------------------------------
+    # Per-iteration steps shared by all backends
+    # ------------------------------------------------------------------
+    def enqueue_frontiers(self) -> int:
+        """Move FIdentifier flags into the joint frontier array.
+
+        This is the "Enqueuing frontiers" phase: nodes flagged during the
+        previous expansion (or at initialization) become the current
+        frontier, and the flags are cleared for the next round. One joint
+        frontier serves all BFS instances (the joint frontier array of
+        iBFS); a node is a frontier as long as it is one in *any* instance.
+
+        Returns:
+            The number of frontier nodes enqueued.
+        """
+        self.frontier = np.flatnonzero(self.f_identifier).astype(np.int64)
+        self.f_identifier[:] = 0
+        return len(self.frontier)
+
+    def identify_central_nodes(self, level: int) -> List[Tuple[int, int]]:
+        """Flag frontiers whose M row is fully finite as Central Nodes.
+
+        Only frontiers need checking — they are exactly the nodes modified
+        at the previous level. Per Lemma V.1 the Central Graph depth equals
+        the BFS level at identification time. Identified nodes become
+        unavailable for future expansion (Section III-B).
+
+        Returns:
+            The (node, depth) pairs newly identified at this level.
+        """
+        if len(self.frontier) == 0:
+            return []
+        candidates = self.frontier[self.c_identifier[self.frontier] == 0]
+        if len(candidates) == 0:
+            return []
+        complete = np.all(
+            self.matrix[candidates] != INFINITE_LEVEL, axis=1
+        )
+        newly_central = candidates[complete]
+        if len(newly_central) == 0:
+            return []
+        self.c_identifier[newly_central] = 1
+        self.central_level[newly_central] = level
+        found = [(int(node), level) for node in newly_central]
+        self.central_nodes.extend(found)
+        return found
+
+    # ------------------------------------------------------------------
+    # Storage accounting (Table IV)
+    # ------------------------------------------------------------------
+    def nbytes(self) -> int:
+        """Dynamic memory of this query's state: M + flags + frontier."""
+        return int(
+            self.matrix.nbytes
+            + self.f_identifier.nbytes
+            + self.c_identifier.nbytes
+            + self.keyword_node.nbytes
+            + self.frontier.nbytes
+        )

@@ -1,0 +1,361 @@
+"""Top-down processing: extraction, level-cover pruning, final ranking
+(Section V-C, Algorithm 3).
+
+Stage one leaves only Central Nodes and the node-keyword matrix M; no path
+is stored. Stage two therefore *recovers* each Central Graph by walking
+backwards from its Central Node using the hitting-level heuristics of
+Theorem V.4, prunes redundant keyword carriers with the level-cover
+strategy, removes containment-repetitive answers, scores what remains
+(Eq. 6) and keeps the top k.
+
+Extraction tracks (node, keyword) pairs so that a node extracted for
+keyword ``i`` only pulls in its keyword-``i`` predecessors — exactly the
+union of hitting paths that Definition 3 prescribes.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..instrumentation import PHASE_TOP_DOWN, PhaseTimer
+from ..graph.csr import KnowledgeGraph
+from .central_graph import CentralGraph
+from .scoring import DEFAULT_LAMBDA, TopKHeap, central_graph_score
+from .state import INFINITE_LEVEL, SearchState
+
+
+class HittingDAG:
+    """The Theorem V.4 qualified-predecessor relation, per keyword.
+
+    For the pair ``(v_f, i)`` a neighbor ``v_n`` already hit in B_i
+    qualifies as a predecessor — it expanded to ``v_f`` on a hitting path
+    — exactly when (with ``h = M[·][i]`` and ``a`` the activation levels):
+
+    * ``v_f`` contains keywords:   ``h_f = 1 + max(a_n, h_n)``
+    * ``v_f`` contains none:       ``h_f = 1 + max(a_n, h_n, a_f − 1)``
+
+    (the expander cannot move before its own activation; a non-keyword
+    target additionally cannot be hit before its activation).
+
+    The relation is independent of which Central Node is being extracted,
+    so it is evaluated once per query as whole-array kernels over every
+    (edge, keyword) pair, and the per-Central-Node extraction below just
+    walks the precomputed predecessor lists.
+
+    One correction on top of the bare Theorem V.4 equalities: a node that
+    was identified as a Central Node stops expanding (Section III-B), so
+    it cannot be the expander of a hit at any later level — a predecessor
+    identified at level ℓ only qualifies for targets hit at level ≤ ℓ.
+    Without this filter, extraction recovers paths the bottom-up search
+    never walked (verified against the path-recording CPU-Par-d variant).
+    """
+
+    def __init__(self, graph: KnowledgeGraph, state: SearchState) -> None:
+        matrix = state.matrix
+        activation = state.activation.astype(np.int64)
+        indptr = graph.adj.indptr
+        n = graph.n_nodes
+        degrees = np.diff(indptr)
+        flat_targets = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        flat_preds = graph.adj.indices.astype(np.int64)
+        infinite = int(INFINITE_LEVEL)
+        # A non-keyword target cannot have been hit before its activation.
+        floor = np.where(state.keyword_node, 0, activation - 1)
+
+        self.n_keywords = state.n_keywords
+        self._indptr: List[np.ndarray] = []
+        self._preds: List[np.ndarray] = []
+        for column in range(state.n_keywords):
+            target_levels = matrix[flat_targets, column].astype(np.int64)
+            pred_levels = matrix[flat_preds, column].astype(np.int64)
+            expander_levels = np.maximum(
+                np.maximum(activation[flat_preds], pred_levels),
+                floor[flat_targets],
+            )
+            qualified = (
+                (target_levels != infinite)
+                & (pred_levels != infinite)
+                & (target_levels == expander_levels + 1)
+            )
+            # A Central Node identified at level ℓ never expands at ℓ or
+            # later: it cannot have caused a hit at level > ℓ.
+            pred_central_levels = state.central_level[flat_preds]
+            qualified &= (pred_central_levels < 0) | (
+                target_levels <= pred_central_levels
+            )
+            counts = np.bincount(flat_targets[qualified], minlength=n)
+            column_indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=column_indptr[1:])
+            self._indptr.append(column_indptr)
+            # flat arrays are grouped by target already, so masking keeps
+            # each target's predecessors contiguous.
+            self._preds.append(flat_preds[qualified])
+
+    def predecessors(self, node: int, column: int) -> np.ndarray:
+        """Qualified keyword-``column`` predecessors of ``node``."""
+        indptr = self._indptr[column]
+        return self._preds[column][indptr[node]:indptr[node + 1]]
+
+    def column_arrays(self, column: int) -> "tuple[np.ndarray, np.ndarray]":
+        """The CSR (indptr, preds) pair for one keyword's hitting DAG."""
+        return self._indptr[column], self._preds[column]
+
+
+def extract_central_graph(
+    graph: KnowledgeGraph,
+    state: SearchState,
+    central_node: int,
+    depth: int,
+    dag: Optional[HittingDAG] = None,
+    single_path: bool = False,
+) -> CentralGraph:
+    """Recover the Central Graph centered at ``central_node``.
+
+    A standard BFS runs backward from the Central Node over
+    (node, keyword) pairs, following the :class:`HittingDAG` qualified
+    predecessors, so that a node reached for keyword ``i`` only pulls in
+    its keyword-``i`` hitting paths (Definition 3's union of per-keyword
+    hitting paths).
+
+    Args:
+        single_path: ablation switch — keep only one predecessor per
+            (node, keyword) pair, degrading the answer to a tree-shaped
+            union of single hitting paths (what GST methods return; the
+            multi-path expressiveness of Fig. 1 is lost).
+    """
+    if dag is None:
+        dag = HittingDAG(graph, state)
+    matrix = state.matrix
+    n_keywords = state.n_keywords
+
+    nodes: Set[int] = {central_node}
+    edges: Set[Tuple[int, int]] = set()
+    if single_path:
+        # Ablation path: one predecessor per (node, keyword) pair.
+        start_pairs = [
+            (central_node, column)
+            for column in range(n_keywords)
+            if matrix[central_node, column] > 0
+        ]
+        visited: Set[Tuple[int, int]] = set(start_pairs)
+        stack: List[Tuple[int, int]] = list(start_pairs)
+        while stack:
+            target, column = stack.pop()
+            predecessors = dag.predecessors(target, column)[:1]
+            for pred in predecessors:
+                pred = int(pred)
+                edges.add((pred, target))
+                nodes.add(pred)
+                if matrix[pred, column] > 0 and (pred, column) not in visited:
+                    visited.add((pred, column))
+                    stack.append((pred, column))
+    else:
+        # Per keyword, the Central Graph's contribution is the backward
+        # closure from the Central Node over that keyword's hitting DAG.
+        # Keyword sources terminate automatically: a node with hitting
+        # level 0 can have no qualified predecessor (Theorem V.4's
+        # right-hand side is always >= 1). Levels are gathered with
+        # whole-array kernels, which is what keeps extraction cheap when
+        # hundreds of Central Nodes arrive at one depth.
+        n = graph.n_nodes
+        for column in range(n_keywords):
+            if matrix[central_node, column] == 0:
+                continue
+            indptr, preds = dag.column_arrays(column)
+            visited_mask = np.zeros(n, dtype=bool)
+            visited_mask[central_node] = True
+            frontier = np.array([central_node], dtype=np.int64)
+            while len(frontier):
+                starts = indptr[frontier]
+                degrees = indptr[frontier + 1] - starts
+                total = int(degrees.sum())
+                if total == 0:
+                    break
+                offsets = np.concatenate(([0], np.cumsum(degrees)[:-1]))
+                positions = (
+                    np.repeat(starts - offsets, degrees) + np.arange(total)
+                )
+                level_preds = preds[positions]
+                level_targets = np.repeat(frontier, degrees)
+                edges.update(
+                    zip(level_preds.tolist(), level_targets.tolist())
+                )
+                fresh = level_preds[~visited_mask[level_preds]]
+                if len(fresh) == 0:
+                    break
+                frontier = np.unique(fresh)
+                visited_mask[frontier] = True
+            nodes.update(map(int, np.flatnonzero(visited_mask)))
+
+    node_array = np.fromiter(nodes, dtype=np.int64, count=len(nodes))
+    zero_mask = matrix[node_array] == 0
+    contributions: Dict[int, FrozenSet[int]] = {}
+    for position in np.flatnonzero(zero_mask.any(axis=1)):
+        node = int(node_array[position])
+        contributions[node] = frozenset(
+            int(c) for c in np.flatnonzero(zero_mask[position])
+        )
+    return CentralGraph(
+        central_node=central_node,
+        depth=depth,
+        nodes=nodes,
+        edges=edges,
+        keyword_contributions=contributions,
+    )
+
+
+def level_cover_prune(central: CentralGraph, n_keywords: int) -> CentralGraph:
+    """Apply the level-cover strategy (Section V-C, Fig. 5).
+
+    Keyword nodes inside the Central Graph are classified into levels by
+    how many keywords they contribute; the Central Node always sits at the
+    top. Walking levels greedily from the top, once the accumulated nodes
+    cover every keyword, all lower levels are pruned together with the
+    hitting paths that exist only to serve them. Nodes within one level
+    never prune each other, so co-occurrence-rich answers stay intact.
+    """
+    contributions = central.keyword_contributions
+    all_keywords = frozenset(range(n_keywords))
+
+    covered: Set[int] = set(contributions.get(central.central_node, frozenset()))
+    preserved: Set[int] = {central.central_node}
+    if covered != all_keywords:
+        grouped: Dict[int, List[int]] = {}
+        for node, columns in contributions.items():
+            if node == central.central_node:
+                continue
+            grouped.setdefault(len(columns), []).append(node)
+        for count in sorted(grouped, reverse=True):
+            level_nodes = grouped[count]
+            preserved.update(level_nodes)
+            for node in level_nodes:
+                covered |= contributions[node]
+            if covered == all_keywords:
+                break
+
+    if preserved.issuperset(contributions):
+        # Every keyword node survived: nothing can be pruned, because
+        # each member node lies on some preserved hitting path already.
+        result = central
+        result.pruned = True
+        return result
+
+    # Keep everything on a hitting path from a preserved node to the
+    # Central Node: the forward closure over the hitting DAG.
+    successors = central.successors()
+    kept: Set[int] = set(preserved)
+    stack = list(preserved)
+    while stack:
+        node = stack.pop()
+        for child in successors.get(node, ()):
+            if child not in kept:
+                kept.add(child)
+                stack.append(child)
+    return central.restricted_to(kept)
+
+
+def deduplicate_by_containment(
+    graphs: Sequence[CentralGraph],
+) -> List[CentralGraph]:
+    """Drop answers that completely contain a smaller answer.
+
+    The paper removes "the Central Graph that completely contains smaller
+    ones" to curb repetition (Section VI-B). Processing by increasing node
+    count guarantees any superset sees its subsets first.
+    """
+    ordered = sorted(graphs, key=lambda g: (g.n_nodes, g.central_node))
+    kept: List[CentralGraph] = []
+    kept_sets: List[Set[int]] = []
+    for graph in ordered:
+        if any(graph.nodes > existing for existing in kept_sets):
+            continue
+        kept.append(graph)
+        kept_sets.append(graph.nodes)
+    return kept
+
+
+@dataclass
+class TopDownConfig:
+    """Stage-two knobs.
+
+    Attributes:
+        k: how many final answers to return.
+        lam: Eq. 6's λ.
+        apply_level_cover: turn the pruning strategy off for ablations.
+        deduplicate: turn containment filtering off for ablations.
+        single_path: tree-shaped answers (one hitting path per keyword)
+            instead of multi-path Central Graphs — ablation only.
+        n_threads: Central Graphs recovered in parallel when > 1 (the
+            paper runs this stage on CPU threads with dynamic scheduling).
+    """
+
+    k: int = 20
+    lam: float = DEFAULT_LAMBDA
+    apply_level_cover: bool = True
+    deduplicate: bool = True
+    single_path: bool = False
+    n_threads: int = 1
+
+
+def process_top_down(
+    graph: KnowledgeGraph,
+    state: SearchState,
+    weights: np.ndarray,
+    config: Optional[TopDownConfig] = None,
+    timer: Optional[PhaseTimer] = None,
+    prebuilt: Optional[Iterable[CentralGraph]] = None,
+) -> List[CentralGraph]:
+    """Run stage two over every identified Central Node.
+
+    Args:
+        weights: normalized degree-of-summary weights (for Eq. 6).
+        prebuilt: already-materialized Central Graphs (the CPU-Par-d
+            variant records paths during search and skips extraction);
+            when given, ``state.central_nodes`` is ignored.
+
+    Returns:
+        The final top-k answers, best (lowest score) first.
+    """
+    config = config or TopDownConfig()
+    timer = timer or PhaseTimer()
+    with timer.phase(PHASE_TOP_DOWN):
+        if prebuilt is not None:
+            extracted = list(prebuilt)
+        else:
+            central_nodes = state.central_nodes
+            dag = HittingDAG(graph, state) if central_nodes else None
+            if config.n_threads > 1 and len(central_nodes) > 1:
+                with ThreadPoolExecutor(max_workers=config.n_threads) as pool:
+                    extracted = list(
+                        pool.map(
+                            lambda pair: extract_central_graph(
+                                graph, state, pair[0], pair[1], dag,
+                                config.single_path,
+                            ),
+                            central_nodes,
+                        )
+                    )
+            else:
+                extracted = [
+                    extract_central_graph(
+                        graph, state, node, depth, dag, config.single_path
+                    )
+                    for node, depth in central_nodes
+                ]
+
+        n_keywords = state.n_keywords
+        if config.apply_level_cover:
+            extracted = [
+                level_cover_prune(answer, n_keywords) for answer in extracted
+            ]
+        if config.deduplicate:
+            extracted = deduplicate_by_containment(extracted)
+        for answer in extracted:
+            answer.score = central_graph_score(answer, weights, config.lam)
+        heap = TopKHeap(config.k)
+        heap.extend(extracted)
+        return heap.ranked()

@@ -1,0 +1,86 @@
+"""Search tracing: per-level observation of the bottom-up loop.
+
+The paper explains its algorithm through level-by-level traces (Fig. 4,
+Example 4). :class:`SearchTrace` captures the same information from real
+runs — frontier sizes, newly hit (node, keyword) counts, Central Node
+discoveries — for debugging, teaching, and regression tests. Attach one
+via ``BottomUpSearch.run(..., observer=trace)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class LevelRecord:
+    """What happened at one BFS expansion level.
+
+    Attributes:
+        level: the global BFS level.
+        frontier_size: nodes in the joint frontier entering this level.
+        new_central_nodes: (node, depth) pairs identified at this level.
+        hits: count of (node, keyword) cells set during this level's
+            expansion (i.e. matrix writes).
+    """
+
+    level: int
+    frontier_size: int
+    new_central_nodes: List[Tuple[int, int]] = field(default_factory=list)
+    hits: int = 0
+
+
+class SearchTrace:
+    """Collects :class:`LevelRecord` entries across one bottom-up run."""
+
+    def __init__(self) -> None:
+        self.records: List[LevelRecord] = []
+
+    # Hook methods invoked by BottomUpSearch -----------------------------
+    def on_level_start(self, level: int, frontier_size: int) -> None:
+        """Called after enqueuing, before identification."""
+        self.records.append(LevelRecord(level=level, frontier_size=frontier_size))
+
+    def on_central_nodes(self, found: List[Tuple[int, int]]) -> None:
+        """Called with the Central Nodes identified this level."""
+        if self.records:
+            self.records[-1].new_central_nodes.extend(found)
+
+    def on_expansion_done(self, hits: int) -> None:
+        """Called after expansion with the number of new matrix writes."""
+        if self.records:
+            self.records[-1].hits += hits
+
+    # Reporting -----------------------------------------------------------
+    @property
+    def n_levels(self) -> int:
+        return len(self.records)
+
+    def total_hits(self) -> int:
+        return sum(record.hits for record in self.records)
+
+    def frontier_sizes(self) -> List[int]:
+        return [record.frontier_size for record in self.records]
+
+    def describe(self, max_centrals_shown: int = 6) -> str:
+        """A Fig. 4-style textual trace of the whole run.
+
+        Args:
+            max_centrals_shown: central nodes listed per level before
+                collapsing the rest into a "+N more" suffix.
+        """
+        lines = ["level  frontier  new_hits  central_nodes"]
+        for record in self.records:
+            found = record.new_central_nodes
+            shown = ", ".join(
+                f"v{node}(d={depth})"
+                for node, depth in found[:max_centrals_shown]
+            )
+            if len(found) > max_centrals_shown:
+                shown += f" (+{len(found) - max_centrals_shown} more)"
+            lines.append(
+                f"{record.level:5d}  {record.frontier_size:8d}  "
+                f"{record.hits:8d}  {shown or '-'}"
+            )
+        return "\n".join(lines)

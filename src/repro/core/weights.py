@@ -1,0 +1,68 @@
+"""Degree-of-summary node weights (Section IV-A, Eq. 2).
+
+A node pointed to by many identically-labeled in-edges (Wikidata's
+``human``, conference nodes, broad topics) is a *summary node*: it only
+records trivial commonality and tends to act as a meaningless shortcut
+during search. Eq. 2 quantifies this:
+
+    w_i = ( Σ_{r ∈ R_i}  r · log2(1 + r) ) / ( Σ_{r ∈ R_i} r )
+
+where ``R_i`` is the set of in-edge labels of ``v_i`` and ``r`` doubles as
+the count of in-edges with that label. Averaging over labels rewards
+in-edge-label diversity. Weights are then min-max normalized to [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import KnowledgeGraph
+
+
+def raw_degree_of_summary(graph: KnowledgeGraph) -> np.ndarray:
+    """Unnormalized Eq. 2 weights, one float64 per node.
+
+    Nodes with no in-edges have no summary evidence and get weight 0
+    (a single in-edge yields log2(2) = 1, the minimum for non-isolated
+    nodes, so 0 keeps them strictly below every summarizing node).
+    """
+    n = graph.n_nodes
+    in_degrees = graph.inc.degrees()
+    if graph.inc.n_entries == 0:
+        return np.zeros(n, dtype=np.float64)
+    # inc.labels is already grouped by target node; build (node, label)
+    # composite keys to count in-edges per label without a Python loop.
+    owner = np.repeat(np.arange(n, dtype=np.int64), in_degrees)
+    n_labels = max(1, len(graph.predicates))
+    keys = owner * n_labels + graph.inc.labels.astype(np.int64)
+    unique_keys, counts = np.unique(keys, return_counts=True)
+    key_owner = unique_keys // n_labels
+    contribution = counts.astype(np.float64) * np.log2(1.0 + counts)
+    numerator = np.zeros(n, dtype=np.float64)
+    denominator = np.zeros(n, dtype=np.float64)
+    np.add.at(numerator, key_owner, contribution)
+    np.add.at(denominator, key_owner, counts.astype(np.float64))
+    weights = np.zeros(n, dtype=np.float64)
+    has_in_edges = denominator > 0
+    weights[has_in_edges] = numerator[has_in_edges] / denominator[has_in_edges]
+    return weights
+
+
+def normalize_weights(raw: np.ndarray) -> np.ndarray:
+    """Min-max normalize raw weights into [0, 1] (paper's w'_i).
+
+    A constant weight vector normalizes to all zeros (no node is more of a
+    summary than any other).
+    """
+    if len(raw) == 0:
+        return raw.astype(np.float64)
+    low = float(raw.min())
+    high = float(raw.max())
+    if high <= low:
+        return np.zeros_like(raw, dtype=np.float64)
+    return (raw - low) / (high - low)
+
+
+def node_weights(graph: KnowledgeGraph) -> np.ndarray:
+    """Normalized degree-of-summary weights: the w_i used everywhere else."""
+    return normalize_weights(raw_degree_of_summary(graph))

@@ -1,0 +1,28 @@
+"""Evaluation harness: workloads, relevance judging, precision metrics."""
+
+from .precision import PrecisionRow, mean_precision, precision_rows, top_k_precision
+from .queries import (
+    CannedQuery,
+    KeywordWorkload,
+    canned_queries,
+    canned_query_phrases,
+    keyword_frequency_row,
+)
+from .redundancy import RedundancyStats, most_repeated_nodes, redundancy_stats
+from .relevance import PhraseCoOccurrenceJudge
+
+__all__ = [
+    "CannedQuery",
+    "KeywordWorkload",
+    "PhraseCoOccurrenceJudge",
+    "PrecisionRow",
+    "RedundancyStats",
+    "most_repeated_nodes",
+    "redundancy_stats",
+    "canned_queries",
+    "canned_query_phrases",
+    "keyword_frequency_row",
+    "mean_precision",
+    "precision_rows",
+    "top_k_precision",
+]

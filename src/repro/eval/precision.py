@@ -1,0 +1,68 @@
+"""Top-k precision — the effectiveness metric of Fig. 11/12.
+
+Top-k precision is "the percentage of relevant answers that appear in
+top-k results". When a method returns fewer than k answers, the paper's
+convention (and ours) divides by the number actually returned, so a
+method is not penalized for a sparse but fully relevant result list;
+an empty result list scores zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+def top_k_precision(relevance_flags: Sequence[bool], k: int) -> float:
+    """Fraction of the first ``k`` answers that are relevant.
+
+    Args:
+        relevance_flags: per-answer judgments in rank order.
+        k: the cut-off.
+
+    Raises:
+        ValueError: if ``k`` is not positive.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    head = list(relevance_flags[:k])
+    if not head:
+        return 0.0
+    return sum(1 for flag in head if flag) / len(head)
+
+
+@dataclass
+class PrecisionRow:
+    """One (query, method) cell series of Fig. 11/12.
+
+    Attributes:
+        query_id: "Q1" .. "Q11".
+        method: e.g. "BANKS-II", "alpha-0.1".
+        precision_at: precision per cut-off, e.g. {5: 1.0, 10: 0.9, 20: 0.85}.
+    """
+
+    query_id: str
+    method: str
+    precision_at: Dict[int, float]
+
+
+def precision_rows(
+    query_id: str,
+    method: str,
+    relevance_flags: Sequence[bool],
+    cutoffs: Sequence[int] = (5, 10, 20),
+) -> PrecisionRow:
+    """Evaluate one ranked answer list at several cut-offs."""
+    return PrecisionRow(
+        query_id=query_id,
+        method=method,
+        precision_at={k: top_k_precision(relevance_flags, k) for k in cutoffs},
+    )
+
+
+def mean_precision(rows: List[PrecisionRow], cutoff: int) -> float:
+    """Macro-average over queries at one cut-off (summary statistic)."""
+    values = [row.precision_at[cutoff] for row in rows if cutoff in row.precision_at]
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,80 @@
+"""Answer-list redundancy metrics (the paper's Q11 analysis).
+
+Section VI-B diagnoses BANKS-II's repetitiveness concretely: one
+irrelevant article "appears in 16 different answers of top-20,
+contributing the keyword 'gradient' for 16 times". Central Graphs, by
+covering more of the graph per answer and removing containment
+duplicates, repeat far less. These metrics turn that observation into
+numbers comparable across methods.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from itertools import combinations
+from typing import AbstractSet, List, Sequence
+
+
+@dataclass(frozen=True)
+class RedundancyStats:
+    """Overlap statistics over one ranked answer list.
+
+    Attributes:
+        n_answers: answers measured.
+        max_node_repetition: how many answers the most-repeated node
+            appears in (the paper's "16 of top-20" number).
+        mean_pairwise_jaccard: average Jaccard similarity between answer
+            node sets (0 = fully diverse, 1 = identical answers).
+        distinct_node_fraction: |union of nodes| / Σ |answer| — 1.0 when
+            no node is ever reused.
+    """
+
+    n_answers: int
+    max_node_repetition: int
+    mean_pairwise_jaccard: float
+    distinct_node_fraction: float
+
+
+def redundancy_stats(
+    answer_node_sets: Sequence[AbstractSet[int]],
+) -> RedundancyStats:
+    """Compute redundancy metrics for a ranked list of answer node sets."""
+    sets = [frozenset(nodes) for nodes in answer_node_sets if nodes]
+    if not sets:
+        return RedundancyStats(0, 0, 0.0, 1.0)
+
+    counts: Counter = Counter()
+    for nodes in sets:
+        counts.update(nodes)
+    max_repetition = max(counts.values())
+
+    if len(sets) < 2:
+        mean_jaccard = 0.0
+    else:
+        total = 0.0
+        pairs = 0
+        for a, b in combinations(sets, 2):
+            union = len(a | b)
+            total += len(a & b) / union if union else 0.0
+            pairs += 1
+        mean_jaccard = total / pairs
+
+    total_slots = sum(len(nodes) for nodes in sets)
+    distinct_fraction = len(counts) / total_slots if total_slots else 1.0
+    return RedundancyStats(
+        n_answers=len(sets),
+        max_node_repetition=max_repetition,
+        mean_pairwise_jaccard=mean_jaccard,
+        distinct_node_fraction=distinct_fraction,
+    )
+
+
+def most_repeated_nodes(
+    answer_node_sets: Sequence[AbstractSet[int]], k: int = 5
+) -> List["tuple[int, int]"]:
+    """The k nodes appearing in the most answers, as (node, count)."""
+    counts: Counter = Counter()
+    for nodes in answer_node_sets:
+        counts.update(set(nodes))
+    return counts.most_common(k)

@@ -1,0 +1,75 @@
+"""Programmatic relevance judgments for the effectiveness study.
+
+The paper judges answer relevance manually (Section VI-B); its failure
+analysis is mechanical, though: an answer is irrelevant when a multi-word
+phrase is covered by *separate* nodes ("Phrases fail to appear together,
+which results in irrelevant answers", e.g. "gradient" without "descent").
+
+This judge codifies exactly that criterion over the generator's planted
+structure: an answer is relevant iff every phrase of the query co-occurs
+— all of its words together — inside at least one answer node. Because
+the criterion is purely a function of the answer's node set, Central
+Graphs and BANKS answer trees are judged identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from ..graph.csr import KnowledgeGraph
+from ..text.tokenizer import Tokenizer
+from .queries import CannedQuery
+
+
+class PhraseCoOccurrenceJudge:
+    """Judges answers by per-phrase keyword co-occurrence.
+
+    Args:
+        graph: the knowledge graph (for node text).
+        tokenizer: must match the engines' tokenizer so stemming agrees.
+    """
+
+    def __init__(
+        self, graph: KnowledgeGraph, tokenizer: Optional[Tokenizer] = None
+    ) -> None:
+        self.graph = graph
+        self.tokenizer = tokenizer or Tokenizer()
+        self._node_terms: Dict[int, FrozenSet[str]] = {}
+
+    def node_terms(self, node: int) -> FrozenSet[str]:
+        """Normalized term set of a node's text (cached)."""
+        cached = self._node_terms.get(node)
+        if cached is None:
+            cached = frozenset(
+                self.tokenizer.unique_terms(self.graph.node_text[node])
+            )
+            self._node_terms[node] = cached
+        return cached
+
+    def phrase_term_sets(self, query: CannedQuery) -> List[FrozenSet[str]]:
+        """Each phrase as the set of normalized terms that must co-occur."""
+        return [
+            frozenset(self.tokenizer.tokenize(phrase))
+            for phrase in query.phrases
+        ]
+
+    def is_relevant(
+        self, answer_nodes: Iterable[int], query: CannedQuery
+    ) -> bool:
+        """True iff every phrase co-occurs inside some single answer node."""
+        members = list(answer_nodes)
+        member_terms = [self.node_terms(node) for node in members]
+        for phrase_terms in self.phrase_term_sets(query):
+            if not phrase_terms:
+                continue
+            if not any(phrase_terms <= terms for terms in member_terms):
+                return False
+        return True
+
+    def judge_node_sets(
+        self, answer_node_sets: Sequence[Set[int]], query: CannedQuery
+    ) -> List[bool]:
+        """Vector of relevance flags, one per answer (rank order kept)."""
+        return [
+            self.is_relevant(nodes, query) for nodes in answer_node_sets
+        ]

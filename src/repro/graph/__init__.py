@@ -1,0 +1,19 @@
+"""Graph substrate: CSR storage, builders, loaders, generators, sampling."""
+
+from .builder import GraphBuilder, graph_from_triples
+from .csr import CSRAdjacency, KnowledgeGraph
+from .labels import Vocabulary
+from .sampling import DistanceEstimate, estimate_average_distance
+from .wikidata import load_wikidata_dump, parse_wikidata_dump
+
+__all__ = [
+    "CSRAdjacency",
+    "DistanceEstimate",
+    "GraphBuilder",
+    "KnowledgeGraph",
+    "Vocabulary",
+    "estimate_average_distance",
+    "graph_from_triples",
+    "load_wikidata_dump",
+    "parse_wikidata_dump",
+]

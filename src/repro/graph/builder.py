@@ -1,0 +1,191 @@
+"""Incremental construction of :class:`~repro.graph.csr.KnowledgeGraph`.
+
+The builder accepts nodes (with their entity text) and labeled directed
+edges in any order, then freezes everything into the three coordinated CSR
+adjacencies. It is the single entry point for loaders, generators, and
+hand-built test graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from .csr import CSRAdjacency, KnowledgeGraph
+from .labels import Vocabulary
+
+PredicateRef = Union[int, str]
+
+
+class GraphBuilder:
+    """Accumulates nodes and edges, then builds an immutable graph.
+
+    >>> b = GraphBuilder()
+    >>> sql = b.add_node("SQL")
+    >>> ql = b.add_node("Query language")
+    >>> _ = b.add_edge(sql, ql, "instance of")
+    >>> g = b.build()
+    >>> g.n_nodes, g.n_edges
+    (2, 1)
+    """
+
+    def __init__(self) -> None:
+        self._node_text: List[str] = []
+        self._node_key_to_id: Dict[str, int] = {}
+        self._sources: List[int] = []
+        self._targets: List[int] = []
+        self._labels: List[int] = []
+        self._predicates = Vocabulary()
+
+    @classmethod
+    def from_graph(cls, graph: KnowledgeGraph) -> "GraphBuilder":
+        """Seed a builder with an existing graph's contents.
+
+        The incremental-update path: load a graph, seed a builder from
+        it, add new entities/edges, and build again. Node ids are
+        preserved (new nodes get ids ≥ the old ``n_nodes``), so existing
+        inverted-index postings stay valid and can be extended in place
+        via :meth:`repro.text.inverted_index.InvertedIndex.extend`.
+        """
+        builder = cls()
+        builder._node_text = list(graph.node_text)
+        for name in graph.predicates:
+            builder._predicates.add(name)
+        for source, target, label in graph.edge_list():
+            builder._sources.append(source)
+            builder._targets.append(target)
+            builder._labels.append(label)
+        return builder
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+    def add_node(self, text: str = "", key: Optional[str] = None) -> int:
+        """Add a node carrying entity ``text`` and return its id.
+
+        Args:
+            text: the human-readable label attached to the node; keyword
+                matching tokenizes this text.
+            key: optional stable identifier (e.g. a Wikidata Q-id). Adding
+                the same key twice returns the existing node instead of
+                creating a duplicate.
+        """
+        if key is not None:
+            existing = self._node_key_to_id.get(key)
+            if existing is not None:
+                return existing
+        node_id = len(self._node_text)
+        self._node_text.append(text)
+        if key is not None:
+            self._node_key_to_id[key] = node_id
+        return node_id
+
+    def node_id_for_key(self, key: str) -> int:
+        """Look up the node previously registered under ``key``.
+
+        Raises:
+            KeyError: if no node carries that key.
+        """
+        return self._node_key_to_id[key]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._node_text)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._sources)
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+    def add_edge(self, source: int, target: int, predicate: PredicateRef) -> int:
+        """Add a directed edge ``source --predicate--> target``.
+
+        Args:
+            predicate: either an already-interned predicate id or the
+                predicate name (interned on first use).
+
+        Returns:
+            The position of the edge in insertion order.
+
+        Raises:
+            ValueError: if either endpoint does not exist or is a self-loop.
+        """
+        n = self.n_nodes
+        if not (0 <= source < n) or not (0 <= target < n):
+            raise ValueError(f"edge endpoint out of range: ({source}, {target})")
+        if source == target:
+            raise ValueError(f"self-loops are not allowed (node {source})")
+        if isinstance(predicate, str):
+            predicate_id = self._predicates.add(predicate)
+        else:
+            predicate_id = int(predicate)
+            if not (0 <= predicate_id < len(self._predicates)):
+                raise ValueError(f"unknown predicate id {predicate_id}")
+        self._sources.append(source)
+        self._targets.append(target)
+        self._labels.append(predicate_id)
+        return len(self._sources) - 1
+
+    def add_predicate(self, name: str) -> int:
+        """Pre-intern a predicate name and return its id."""
+        return self._predicates.add(name)
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self, deduplicate: bool = True) -> KnowledgeGraph:
+        """Freeze the accumulated data into a :class:`KnowledgeGraph`.
+
+        Args:
+            deduplicate: drop exact duplicate ``(source, target, predicate)``
+                triples, which real RDF dumps routinely contain.
+        """
+        n = self.n_nodes
+        sources = np.asarray(self._sources, dtype=np.int64)
+        targets = np.asarray(self._targets, dtype=np.int64)
+        labels = np.asarray(self._labels, dtype=np.int64)
+        if deduplicate and len(sources):
+            triples = np.stack([sources, targets, labels], axis=1)
+            triples = np.unique(triples, axis=0)
+            sources, targets, labels = triples[:, 0], triples[:, 1], triples[:, 2]
+        out = CSRAdjacency.from_edge_arrays(n, sources, targets, labels)
+        inc = CSRAdjacency.from_edge_arrays(n, targets, sources, labels)
+        adj = CSRAdjacency.from_edge_arrays(
+            n,
+            np.concatenate([sources, targets]),
+            np.concatenate([targets, sources]),
+            np.concatenate([labels, labels]),
+        )
+        return KnowledgeGraph(
+            out=out,
+            inc=inc,
+            adj=adj,
+            node_text=self._node_text,
+            predicates=self._predicates,
+        )
+
+
+def graph_from_triples(
+    triples: "list[tuple[str, str, str]]",
+    node_text: Optional[Dict[str, str]] = None,
+) -> KnowledgeGraph:
+    """Build a graph from ``(subject_key, predicate, object_key)`` triples.
+
+    Args:
+        triples: string triples; subjects/objects become nodes keyed by the
+            string, predicates are interned by name.
+        node_text: optional mapping from node key to display text; nodes not
+            present fall back to their key as text.
+
+    This is the convenience path for tests and tiny hand-written fixtures.
+    """
+    node_text = node_text or {}
+    builder = GraphBuilder()
+    for subject, predicate, obj in triples:
+        s = builder.add_node(node_text.get(subject, subject), key=subject)
+        o = builder.add_node(node_text.get(obj, obj), key=obj)
+        builder.add_edge(s, o, predicate)
+    return builder.build()

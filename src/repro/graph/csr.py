@@ -1,0 +1,264 @@
+"""Compressed Sparse Row (CSR) graph storage.
+
+The paper stores the knowledge graph in CSR format and models it as a
+bi-directed, node-weighted, edge-labeled graph (Section III). We keep three
+coordinated CSR adjacencies:
+
+* ``out`` — the directed edges as loaded (subject → object),
+* ``inc`` — the reverse direction (used by the degree-of-summary weights,
+  Eq. 2, which are defined over *in*-edges and their labels),
+* ``adj`` — the bi-directed union used by every traversal, since the paper
+  "model[s] Wikidata KB as a bi-directed ... graph" to enhance connectivity.
+
+All arrays use dense integer dtypes so the search state (node-keyword
+matrix, frontier flags) can be manipulated with vectorized NumPy kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .labels import Vocabulary
+
+
+@dataclass(frozen=True)
+class CSRAdjacency:
+    """One CSR adjacency: ``indices[indptr[v]:indptr[v+1]]`` are v's neighbors.
+
+    ``labels`` is parallel to ``indices`` and holds the predicate id of each
+    edge. Neighbor lists are sorted by (neighbor id, label id) after build,
+    which makes equality checks and binary searches deterministic.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.indptr.ndim != 1 or self.indices.ndim != 1 or self.labels.ndim != 1:
+            raise ValueError("CSR arrays must be one-dimensional")
+        if len(self.indices) != len(self.labels):
+            raise ValueError("indices and labels must be parallel arrays")
+        if len(self.indptr) == 0 or self.indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if self.indptr[-1] != len(self.indices):
+            raise ValueError("indptr must end at len(indices)")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def n_entries(self) -> int:
+        return int(self.indptr[-1])
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Neighbor ids of ``node`` (a view, do not mutate)."""
+        return self.indices[self.indptr[node]:self.indptr[node + 1]]
+
+    def neighbor_labels(self, node: int) -> np.ndarray:
+        """Predicate ids parallel to :meth:`neighbors`."""
+        return self.labels[self.indptr[node]:self.indptr[node + 1]]
+
+    def edges_of(self, node: int) -> Iterator[Tuple[int, int]]:
+        """Yield ``(neighbor, predicate_id)`` pairs for ``node``."""
+        start, stop = int(self.indptr[node]), int(self.indptr[node + 1])
+        for pos in range(start, stop):
+            yield int(self.indices[pos]), int(self.labels[pos])
+
+    def degree(self, node: int) -> int:
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every node as an int64 array."""
+        return np.diff(self.indptr)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.indptr.nbytes + self.indices.nbytes + self.labels.nbytes)
+
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        n_nodes: int,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        labels: np.ndarray,
+    ) -> "CSRAdjacency":
+        """Build a CSR adjacency from parallel COO-style edge arrays.
+
+        Edges are grouped by source and each neighbor list is sorted by
+        (target, label) so that builds are deterministic regardless of input
+        order.
+        """
+        if not (len(sources) == len(targets) == len(labels)):
+            raise ValueError("edge arrays must have equal length")
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int32)
+        labels = np.asarray(labels, dtype=np.int32)
+        if len(sources) and (sources.min() < 0 or sources.max() >= n_nodes):
+            raise ValueError("edge source out of range")
+        if len(targets) and (targets.min() < 0 or targets.max() >= n_nodes):
+            raise ValueError("edge target out of range")
+        order = np.lexsort((labels, targets, sources))
+        sources = sources[order]
+        targets = targets[order]
+        labels = labels[order]
+        counts = np.bincount(sources, minlength=n_nodes)
+        indptr = np.zeros(n_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr=indptr, indices=targets, labels=labels)
+
+
+class KnowledgeGraph:
+    """A bi-directed, edge-labeled knowledge graph in CSR form.
+
+    This is the substrate every search component operates on. Instances are
+    immutable after construction; use :class:`repro.graph.builder.GraphBuilder`
+    to create one.
+
+    Attributes:
+        out: directed adjacency (subject → object).
+        inc: reverse adjacency (object → subject); Eq. 2 weights read this.
+        adj: bi-directed union adjacency used by all traversals.
+        node_text: entity label text per node (may be empty strings).
+        predicates: interned predicate vocabulary.
+    """
+
+    def __init__(
+        self,
+        out: CSRAdjacency,
+        inc: CSRAdjacency,
+        adj: CSRAdjacency,
+        node_text: Sequence[str],
+        predicates: Vocabulary,
+    ) -> None:
+        if not (out.n_nodes == inc.n_nodes == adj.n_nodes == len(node_text)):
+            raise ValueError("adjacency / node_text sizes disagree")
+        if out.n_entries != inc.n_entries:
+            raise ValueError("out and in adjacencies must hold the same edges")
+        self.out = out
+        self.inc = inc
+        self.adj = adj
+        self.node_text: List[str] = list(node_text)
+        self.predicates = predicates
+
+    # ------------------------------------------------------------------
+    # Basic shape
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return self.out.n_nodes
+
+    @property
+    def n_edges(self) -> int:
+        """Number of *directed* edges as loaded (the paper's edge count)."""
+        return self.out.n_entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KnowledgeGraph(n_nodes={self.n_nodes}, n_edges={self.n_edges})"
+
+    # ------------------------------------------------------------------
+    # Navigation helpers
+    # ------------------------------------------------------------------
+    def neighbors(self, node: int) -> np.ndarray:
+        """Bi-directed neighbors of ``node`` (what the BFS expands over)."""
+        return self.adj.neighbors(node)
+
+    def predicate_name(self, predicate_id: int) -> str:
+        return self.predicates[predicate_id]
+
+    def degree(self, node: int) -> int:
+        """Bi-directed degree (counting parallel edges)."""
+        return self.adj.degree(node)
+
+    def in_degree(self, node: int) -> int:
+        return self.inc.degree(node)
+
+    def out_degree(self, node: int) -> int:
+        return self.out.degree(node)
+
+    # ------------------------------------------------------------------
+    # Statistics used by the paper
+    # ------------------------------------------------------------------
+    def in_label_counts(self, node: int) -> "dict[int, int]":
+        """Count in-edges of ``node`` per predicate label.
+
+        This is the r-per-label statistic of Eq. 2 (degree of summary):
+        ``human`` style summary nodes have one label with a huge count.
+        """
+        labels = self.inc.neighbor_labels(node)
+        uniques, counts = np.unique(labels, return_counts=True)
+        return {int(label): int(count) for label, count in zip(uniques, counts)}
+
+    def degree_statistics(self) -> "dict[str, float]":
+        """Summary statistics handy for dataset tables and sanity checks."""
+        degrees = self.adj.degrees()
+        if len(degrees) == 0:
+            return {"max": 0.0, "mean": 0.0, "median": 0.0}
+        return {
+            "max": float(degrees.max()),
+            "mean": float(degrees.mean()),
+            "median": float(np.median(degrees)),
+        }
+
+    # ------------------------------------------------------------------
+    # Storage accounting (Table IV)
+    # ------------------------------------------------------------------
+    def storage_nbytes(self) -> int:
+        """Bytes of the traversal-critical arrays (the paper's "pre-storage").
+
+        The paper's pre-storage covers the CSR adjacency and the node weight
+        array; node weights live outside this class, so callers add them.
+        Text content is excluded, exactly as the paper excludes "texture and
+        content information ... which can be stored in external memory".
+        """
+        return self.adj.nbytes
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def edge_list(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield every directed edge as ``(source, target, predicate_id)``."""
+        for source in range(self.n_nodes):
+            for target, label in self.out.edges_of(source):
+                yield source, target, label
+
+    def validate(self) -> None:
+        """Cross-check the three adjacencies against each other.
+
+        Raises:
+            ValueError: if ``inc`` is not the exact reverse of ``out`` or
+                ``adj`` is not their union.
+        """
+        forward = sorted(
+            (s, t, lab) for s in range(self.n_nodes) for t, lab in self.out.edges_of(s)
+        )
+        backward = sorted(
+            (s, t, lab) for t in range(self.n_nodes) for s, lab in self.inc.edges_of(t)
+        )
+        if forward != backward:
+            raise ValueError("inc adjacency is not the reverse of out adjacency")
+        union = sorted(
+            [(s, t, lab) for (s, t, lab) in forward]
+            + [(t, s, lab) for (s, t, lab) in forward]
+        )
+        both = sorted(
+            (s, t, lab) for s in range(self.n_nodes) for t, lab in self.adj.edges_of(s)
+        )
+        if union != both:
+            raise ValueError("adj adjacency is not the bi-directed union")
+
+
+@dataclass
+class GraphMetadata:
+    """Optional provenance riding along with generated datasets."""
+
+    name: str = "unnamed"
+    seed: Optional[int] = None
+    notes: dict = field(default_factory=dict)

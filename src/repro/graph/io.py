@@ -1,0 +1,154 @@
+"""Serialization and text-format loaders for knowledge graphs.
+
+Two on-disk representations are supported:
+
+* a binary ``.npz`` bundle holding the CSR arrays plus a JSON sidecar with
+  node text and the predicate vocabulary — the fast path used by the
+  benchmark dataset cache, and
+* a line-oriented TSV triple format (``subject<TAB>predicate<TAB>object``)
+  covering the "knowledge graphs can all be represented in an RDF graph"
+  loading path of the paper.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .builder import GraphBuilder
+from .csr import CSRAdjacency, KnowledgeGraph
+from .labels import Vocabulary
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(graph: KnowledgeGraph, path: str) -> None:
+    """Persist ``graph`` to ``path`` (``.npz``) plus ``path + '.meta.json'``.
+
+    The NPZ holds only numeric CSR arrays; strings (node text, predicate
+    names) live in the JSON sidecar so they stay human-inspectable.
+    """
+    np.savez_compressed(
+        path,
+        out_indptr=graph.out.indptr,
+        out_indices=graph.out.indices,
+        out_labels=graph.out.labels,
+        inc_indptr=graph.inc.indptr,
+        inc_indices=graph.inc.indices,
+        inc_labels=graph.inc.labels,
+        adj_indptr=graph.adj.indptr,
+        adj_indices=graph.adj.indices,
+        adj_labels=graph.adj.labels,
+    )
+    meta = {
+        "version": _FORMAT_VERSION,
+        "node_text": graph.node_text,
+        "predicates": graph.predicates.to_list(),
+    }
+    with open(_meta_path(path), "w", encoding="utf-8") as handle:
+        json.dump(meta, handle)
+
+
+def load_graph(path: str) -> KnowledgeGraph:
+    """Load a graph previously written by :func:`save_graph`.
+
+    Raises:
+        FileNotFoundError: if either the NPZ or the JSON sidecar is missing.
+        ValueError: if the sidecar format version is unsupported.
+    """
+    npz_path = path if path.endswith(".npz") else path + ".npz"
+    with np.load(npz_path) as data:
+        out = CSRAdjacency(
+            indptr=data["out_indptr"],
+            indices=data["out_indices"],
+            labels=data["out_labels"],
+        )
+        inc = CSRAdjacency(
+            indptr=data["inc_indptr"],
+            indices=data["inc_indices"],
+            labels=data["inc_labels"],
+        )
+        adj = CSRAdjacency(
+            indptr=data["adj_indptr"],
+            indices=data["adj_indices"],
+            labels=data["adj_labels"],
+        )
+    with open(_meta_path(path), "r", encoding="utf-8") as handle:
+        meta = json.load(handle)
+    if meta.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported graph format version: {meta.get('version')}")
+    return KnowledgeGraph(
+        out=out,
+        inc=inc,
+        adj=adj,
+        node_text=meta["node_text"],
+        predicates=Vocabulary.from_list(meta["predicates"]),
+    )
+
+
+def _meta_path(path: str) -> str:
+    base = path[:-4] if path.endswith(".npz") else path
+    return base + ".meta.json"
+
+
+def load_tsv_triples(
+    path: str,
+    node_text: Optional[Dict[str, str]] = None,
+    comment_prefix: str = "#",
+) -> KnowledgeGraph:
+    """Load ``subject<TAB>predicate<TAB>object`` triples from a TSV file.
+
+    Blank lines and lines starting with ``comment_prefix`` are skipped.
+    Subjects/objects are node keys; display text defaults to the key unless
+    overridden through ``node_text``.
+
+    Raises:
+        ValueError: on malformed lines (not exactly three tab-separated
+            fields), reporting the offending line number.
+    """
+    node_text = node_text or {}
+    builder = GraphBuilder()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            if not line.strip() or line.startswith(comment_prefix):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}:{line_no}: expected 3 tab-separated fields, got {len(parts)}"
+                )
+            subject, predicate, obj = (part.strip() for part in parts)
+            s = builder.add_node(node_text.get(subject, subject), key=subject)
+            o = builder.add_node(node_text.get(obj, obj), key=obj)
+            if s != o:
+                builder.add_edge(s, o, predicate)
+    return builder.build()
+
+
+def dump_tsv_triples(graph: KnowledgeGraph, path: str) -> int:
+    """Write the graph's directed edges as TSV triples; returns edge count.
+
+    Node keys are ``n<id>`` and a header comment records node text mapping
+    hints, keeping round-trips lossless for structure (text is carried via
+    a second file written by :func:`save_graph` when needed).
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# subject\tpredicate\tobject\n")
+        for source, target, label in graph.edge_list():
+            handle.write(
+                f"n{source}\t{graph.predicate_name(label)}\tn{target}\n"
+            )
+            count += 1
+    return count
+
+
+def dataset_cache_path(cache_dir: str, name: str) -> Tuple[str, bool]:
+    """Return the NPZ cache path for dataset ``name`` and whether it exists."""
+    os.makedirs(cache_dir, exist_ok=True)
+    path = os.path.join(cache_dir, f"{name}.npz")
+    return path, os.path.exists(path) and os.path.exists(_meta_path(path))

@@ -1,0 +1,99 @@
+"""String interning for node labels, predicates, and keyword terms.
+
+Knowledge graphs carry three string universes: entity labels (the text
+attached to a node), predicate names (edge labels such as ``instance of``),
+and the keyword vocabulary derived from entity text. All three are interned
+into dense integer ids through :class:`Vocabulary` so that the rest of the
+system works purely on ``int32`` arrays, mirroring the paper's CSR layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class Vocabulary:
+    """A bidirectional mapping between strings and dense integer ids.
+
+    Ids are assigned in first-seen order starting from zero, which keeps
+    them suitable as direct indices into NumPy arrays.
+
+    >>> v = Vocabulary()
+    >>> v.add("instance of")
+    0
+    >>> v.add("subclass of")
+    1
+    >>> v.add("instance of")
+    0
+    >>> v[0]
+    'instance of'
+    """
+
+    __slots__ = ("_id_of", "_token_of")
+
+    def __init__(self, tokens: Optional[Iterable[str]] = None) -> None:
+        self._id_of: Dict[str, int] = {}
+        self._token_of: List[str] = []
+        if tokens is not None:
+            for token in tokens:
+                self.add(token)
+
+    def add(self, token: str) -> int:
+        """Intern ``token`` and return its id (existing id if already known)."""
+        existing = self._id_of.get(token)
+        if existing is not None:
+            return existing
+        new_id = len(self._token_of)
+        self._id_of[token] = new_id
+        self._token_of.append(token)
+        return new_id
+
+    def id_of(self, token: str) -> int:
+        """Return the id of ``token``.
+
+        Raises:
+            KeyError: if ``token`` was never interned.
+        """
+        return self._id_of[token]
+
+    def get(self, token: str, default: Optional[int] = None) -> Optional[int]:
+        """Return the id of ``token`` or ``default`` when unknown."""
+        return self._id_of.get(token, default)
+
+    def __getitem__(self, token_id: int) -> str:
+        return self._token_of[token_id]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._id_of
+
+    def __len__(self) -> int:
+        return len(self._token_of)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._token_of)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Vocabulary({len(self)} tokens)"
+
+    def tokens(self) -> List[str]:
+        """Return all interned tokens in id order (a defensive copy)."""
+        return list(self._token_of)
+
+    def to_list(self) -> List[str]:
+        """Serialization helper: the id-ordered token list."""
+        return list(self._token_of)
+
+    @classmethod
+    def from_list(cls, tokens: Iterable[str]) -> "Vocabulary":
+        """Rebuild a vocabulary from :meth:`to_list` output.
+
+        Raises:
+            ValueError: if ``tokens`` contains duplicates (ids would shift).
+        """
+        vocab = cls()
+        for token in tokens:
+            before = len(vocab)
+            vocab.add(token)
+            if len(vocab) == before:
+                raise ValueError(f"duplicate token in vocabulary dump: {token!r}")
+        return vocab

@@ -1,0 +1,103 @@
+"""Average shortest-distance estimation by pair sampling (Table II).
+
+The paper estimates the average shortest distance ``A`` of each Wikidata
+dump by sampling ten thousand node pairs (Table II: A = 3.87 / 3.68 with
+deviations 0.81 / 0.98). ``A`` then anchors the Penalty-and-Reward mapping
+(Eq. 3-5). This module reproduces that estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .algorithms import UNREACHED, bfs_levels_vectorized, largest_component_nodes
+from .csr import KnowledgeGraph
+
+
+@dataclass(frozen=True)
+class DistanceEstimate:
+    """Result of sampled average-distance estimation.
+
+    Attributes:
+        average: mean hop distance over sampled connected pairs (paper's A).
+        deviation: standard deviation of the sampled distances.
+        n_sampled: number of pairs actually used (connected pairs only).
+        n_requested: number of pairs asked for.
+    """
+
+    average: float
+    deviation: float
+    n_sampled: int
+    n_requested: int
+
+    def rounded(self) -> int:
+        """``A`` rounded to the nearest integer, as the mapping requires."""
+        return int(round(self.average))
+
+
+def estimate_average_distance(
+    graph: KnowledgeGraph,
+    n_pairs: int = 10_000,
+    seed: int = 0,
+    restrict_to_largest_component: bool = True,
+    rng: Optional[np.random.Generator] = None,
+) -> DistanceEstimate:
+    """Estimate the average shortest distance by sampling node pairs.
+
+    Each sampled source runs one BFS; the distance to its paired target is
+    recorded when reachable. Restricting to the largest component mirrors
+    the paper's intent (disconnected pairs carry no distance signal).
+
+    Args:
+        n_pairs: how many (source, target) pairs to draw.
+        seed: RNG seed when ``rng`` is not given; results are deterministic.
+        restrict_to_largest_component: sample only within the giant
+            component so nearly every pair is connected.
+
+    Raises:
+        ValueError: if the graph has fewer than two nodes to pair up.
+    """
+    if graph.n_nodes < 2:
+        raise ValueError("need at least two nodes to sample distances")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    if restrict_to_largest_component:
+        pool = largest_component_nodes(graph)
+        if len(pool) < 2:
+            pool = np.arange(graph.n_nodes, dtype=np.int64)
+    else:
+        pool = np.arange(graph.n_nodes, dtype=np.int64)
+
+    # Group pairs by source so one BFS serves a whole batch of targets:
+    # statistically the same estimator over random pairs, at a fraction of
+    # the traversal cost.
+    targets_per_source = min(50, max(1, n_pairs))
+    n_sources = (n_pairs + targets_per_source - 1) // targets_per_source
+    sources = rng.choice(pool, size=n_sources, replace=True)
+    distances = []
+    remaining = n_pairs
+    for source in sources:
+        batch = min(targets_per_source, remaining)
+        remaining -= batch
+        targets = rng.choice(pool, size=batch, replace=True)
+        levels = bfs_levels_vectorized(graph, [int(source)])
+        for target in targets:
+            target = int(target)
+            if target == source:
+                continue
+            level = int(levels[target])
+            if level != UNREACHED:
+                distances.append(level)
+
+    if not distances:
+        return DistanceEstimate(0.0, 0.0, 0, n_pairs)
+    arr = np.asarray(distances, dtype=np.float64)
+    return DistanceEstimate(
+        average=float(arr.mean()),
+        deviation=float(arr.std()),
+        n_sampled=len(arr),
+        n_requested=n_pairs,
+    )

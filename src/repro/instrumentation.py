@@ -1,0 +1,107 @@
+"""Timing and storage instrumentation for the experiment harness.
+
+Fig. 6/7/9/10 report *per-phase* times (Initialization, Enqueuing
+frontiers, Identifying Central Nodes, Expansion, Top-down processing,
+Total); Table IV reports pre-storage vs. maximum running storage. Both
+needs are served here so the search engines stay free of bookkeeping.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+# Canonical phase names, in the order the paper's figures present them.
+PHASE_INITIALIZATION = "initialization"
+PHASE_ENQUEUE = "enqueuing_frontiers"
+PHASE_IDENTIFY = "identifying_central_nodes"
+PHASE_EXPANSION = "expansion"
+PHASE_TOP_DOWN = "top_down_processing"
+PHASE_TOTAL = "total"
+
+ALL_PHASES = (
+    PHASE_INITIALIZATION,
+    PHASE_ENQUEUE,
+    PHASE_IDENTIFY,
+    PHASE_EXPANSION,
+    PHASE_TOP_DOWN,
+    PHASE_TOTAL,
+)
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase.
+
+    Phases may be entered repeatedly (the bottom-up loop re-enters
+    enqueue/identify/expand once per BFS level); durations accumulate.
+    """
+
+    seconds: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+
+    def get(self, name: str) -> float:
+        return self.seconds.get(name, 0.0)
+
+    def milliseconds(self) -> Dict[str, float]:
+        """All phases in milliseconds (the paper reports ms)."""
+        return {name: value * 1e3 for name, value in self.seconds.items()}
+
+    def merged_with(self, other: "PhaseTimer") -> "PhaseTimer":
+        merged = PhaseTimer(dict(self.seconds))
+        for name, value in other.seconds.items():
+            merged.add(name, value)
+        return merged
+
+
+def average_timers(timers: List[PhaseTimer]) -> Dict[str, float]:
+    """Mean milliseconds per phase across queries (the figures' y-values)."""
+    if not timers:
+        return {}
+    totals: Dict[str, float] = {}
+    for timer in timers:
+        for name, value in timer.milliseconds().items():
+            totals[name] = totals.get(name, 0.0) + value
+    return {name: value / len(timers) for name, value in totals.items()}
+
+
+@dataclass
+class StorageReport:
+    """Table IV's two columns, in bytes.
+
+    Attributes:
+        pre_storage: CSR adjacency + node-weight array — resident before
+            any query runs.
+        max_running_storage: pre-storage plus the peak per-query dynamic
+            state (node-keyword matrix, identifier arrays, frontier).
+    """
+
+    pre_storage: int
+    max_running_storage: int
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Running / pre ratio; the paper's is ≈ 1.2× at Knum=8, Topk=50."""
+        if self.pre_storage == 0:
+            return float("inf")
+        return self.max_running_storage / self.pre_storage
+
+    def as_megabytes(self) -> "dict[str, float]":
+        scale = 1.0 / (1024.0 * 1024.0)
+        return {
+            "pre_storage_mb": self.pre_storage * scale,
+            "max_running_storage_mb": self.max_running_storage * scale,
+        }

@@ -1,0 +1,25 @@
+"""Parallel expansion backends and the locked ablation variant.
+
+Mapping to the paper's implementations:
+
+* :class:`VectorizedBackend` — "GPU-Par" (data-parallel SIMD kernels),
+* :class:`ThreadPoolBackend` — "CPU-Par" (coarse-grained dynamic scheduling),
+* :class:`SequentialBackend` — "CPU-Par" at Tnum = 1 / the semantic oracle,
+* :class:`LockedDictEngine` — "CPU-Par-d" (locked dynamic memory).
+"""
+
+from .backend import ExpansionBackend
+from .locked import LockedDictEngine
+from .processes import ProcessPoolBackend
+from .sequential import SequentialBackend
+from .threads import ThreadPoolBackend
+from .vectorized import VectorizedBackend
+
+__all__ = [
+    "ExpansionBackend",
+    "LockedDictEngine",
+    "ProcessPoolBackend",
+    "SequentialBackend",
+    "ThreadPoolBackend",
+    "VectorizedBackend",
+]

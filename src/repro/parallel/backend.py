@@ -1,0 +1,47 @@
+"""Expansion backend interface for the bottom-up stage.
+
+The two-stage algorithm (Algorithm 1) forks worker threads/warps for the
+expansion procedure and joins between steps. In this reproduction a
+*backend* owns exactly that expansion step: given the shared
+:class:`~repro.core.state.SearchState` and the current BFS level, it
+applies Algorithm 2 to the current frontier.
+
+Backends must preserve the lock-free write discipline: only ever write
+``1`` into FIdentifier and ``level + 1`` into M, so concurrent writers
+race benignly (Theorem V.2).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..core.state import SearchState
+from ..graph.csr import KnowledgeGraph
+
+
+class ExpansionBackend(abc.ABC):
+    """One expansion strategy (sequential, threaded, vectorized, ...)."""
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def expand(self, graph: KnowledgeGraph, state: SearchState, level: int) -> None:
+        """Run Algorithm 2 for the current frontier at BFS level ``level``.
+
+        Implementations mutate ``state.matrix`` (hitting levels of newly hit
+        nodes) and ``state.f_identifier`` (nodes to enqueue next level),
+        and must not touch anything else.
+        """
+
+    def close(self) -> None:
+        """Release pooled resources (thread pools); default is a no-op."""
+
+    def __enter__(self) -> "ExpansionBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

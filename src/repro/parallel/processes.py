@@ -1,0 +1,227 @@
+"""Process-pool expansion — true multi-core parallelism in CPython.
+
+The thread-pool backend reproduces the paper's CPU-Par *structure* but
+the GIL serializes its pure-Python kernel, so thread sweeps stay flat.
+This backend is the Python-fidelity answer: worker *processes* execute
+Algorithm 2 over the search state placed in POSIX shared memory, so the
+lock-free idempotent-write discipline (Theorem V.2) operates across real
+cores — writes race benignly in actual parallel, exactly like the
+paper's OpenMP threads.
+
+Mechanics per expansion level:
+
+1. the parent copies M / FIdentifier / CIdentifier / activation /
+   keyword-mask into one shared-memory block (Θ(q·|V|) bytes — ~100 KB
+   at benchmark scale, microseconds to copy);
+2. frontier chunks are dispatched to a persistent fork-based pool whose
+   workers inherited the CSR graph at pool creation;
+3. workers mutate the shared block in place (idempotent writes only);
+4. the parent copies M / FIdentifier back into the SearchState.
+
+Requires a platform with the ``fork`` start method (Linux/macOS);
+:func:`ProcessPoolBackend.is_supported` reports availability.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.state import SearchState
+from ..graph.csr import KnowledgeGraph
+from .backend import ExpansionBackend
+
+# Worker-side globals, populated by the pool initializer (fork-inherited
+# data plus lazily attached shared-memory segments).
+_WORKER_INDPTR: Optional[np.ndarray] = None
+_WORKER_INDICES: Optional[np.ndarray] = None
+_WORKER_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def _init_worker(indptr: np.ndarray, indices: np.ndarray) -> None:
+    global _WORKER_INDPTR, _WORKER_INDICES
+    _WORKER_INDPTR = indptr
+    _WORKER_INDICES = indices
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    segment = _WORKER_SEGMENTS.get(name)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=name)
+        _WORKER_SEGMENTS[name] = segment
+    return segment
+
+
+def _layout(n: int, q: int) -> "dict[str, tuple[int, int]]":
+    """Byte offsets of each array inside the shared block."""
+    offsets = {}
+    cursor = 0
+    for key, size in (
+        ("matrix", n * q),          # uint8
+        ("f_identifier", n),        # uint8
+        ("c_identifier", n),        # uint8
+        ("keyword", n),             # uint8 (bool)
+        ("activation", 4 * n),      # int32
+    ):
+        offsets[key] = (cursor, size)
+        cursor += size
+    offsets["__total__"] = (0, cursor)
+    return offsets
+
+
+def _views(buffer, n: int, q: int):
+    offsets = _layout(n, q)
+
+    def view(key, dtype, shape):
+        start, size = offsets[key]
+        return np.frombuffer(buffer, dtype=dtype, count=size // np.dtype(dtype).itemsize,
+                             offset=start).reshape(shape)
+
+    return {
+        "matrix": view("matrix", np.uint8, (n, q)),
+        "f_identifier": view("f_identifier", np.uint8, (n,)),
+        "c_identifier": view("c_identifier", np.uint8, (n,)),
+        "keyword": view("keyword", np.uint8, (n,)),
+        "activation": view("activation", np.int32, (n,)),
+    }
+
+
+def _expand_chunk_task(args: Tuple[str, int, int, int, np.ndarray]) -> None:
+    """Algorithm 2 over one frontier chunk, against shared state."""
+    shm_name, n, q, level, chunk = args
+    segment = _attach(shm_name)
+    views = _views(segment.buf, n, q)
+    matrix = views["matrix"]
+    f_identifier = views["f_identifier"]
+    c_identifier = views["c_identifier"]
+    keyword_node = views["keyword"]
+    activation = views["activation"]
+    indptr = _WORKER_INDPTR
+    indices = _WORKER_INDICES
+    next_level = level + 1
+
+    for node in chunk:
+        node = int(node)
+        if c_identifier[node]:
+            continue
+        if activation[node] > level:
+            f_identifier[node] = 1
+            continue
+        neighbors = indices[indptr[node]:indptr[node + 1]]
+        for column in range(q):
+            if matrix[node, column] > level:
+                continue
+            for neighbor in neighbors:
+                neighbor = int(neighbor)
+                if matrix[neighbor, column] != 255:
+                    continue
+                if not keyword_node[neighbor] and activation[neighbor] > next_level:
+                    f_identifier[node] = 1
+                    continue
+                matrix[neighbor, column] = next_level
+                f_identifier[neighbor] = 1
+
+
+class ProcessPoolBackend(ExpansionBackend):
+    """Shared-memory multi-process expansion (real parallel CPU-Par).
+
+    Args:
+        graph: the graph workers will traverse; its CSR arrays are
+            shipped to the pool once at construction.
+        n_processes: worker count (the paper's Tnum, with real cores).
+        chunks_per_process: dynamic-scheduling granularity.
+
+    Raises:
+        RuntimeError: when the platform lacks the ``fork`` start method.
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        n_processes: int = 4,
+        chunks_per_process: int = 2,
+    ) -> None:
+        if n_processes < 1:
+            raise ValueError("n_processes must be positive")
+        if chunks_per_process < 1:
+            raise ValueError("chunks_per_process must be positive")
+        if not self.is_supported():
+            raise RuntimeError(
+                "ProcessPoolBackend requires the 'fork' start method"
+            )
+        self.n_processes = n_processes
+        self.chunks_per_process = chunks_per_process
+        self.name = f"processes[{n_processes}]"
+        self._graph = graph
+        context = multiprocessing.get_context("fork")
+        self._pool = context.Pool(
+            processes=n_processes,
+            initializer=_init_worker,
+            initargs=(graph.adj.indptr, graph.adj.indices),
+        )
+        self._segment: Optional[shared_memory.SharedMemory] = None
+        self._segment_shape: Optional[Tuple[int, int]] = None
+
+    @staticmethod
+    def is_supported() -> bool:
+        """True when fork-based pools are available on this platform."""
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    # ------------------------------------------------------------------
+    def _ensure_segment(self, n: int, q: int) -> shared_memory.SharedMemory:
+        if self._segment is not None and self._segment_shape == (n, q):
+            return self._segment
+        if self._segment is not None:
+            self._segment.close()
+            self._segment.unlink()
+        total = _layout(n, q)["__total__"][1]
+        self._segment = shared_memory.SharedMemory(create=True, size=total)
+        self._segment_shape = (n, q)
+        return self._segment
+
+    def expand(self, graph: KnowledgeGraph, state: SearchState, level: int) -> None:
+        if graph is not self._graph:
+            raise ValueError(
+                "ProcessPoolBackend is bound to the graph given at "
+                "construction; create one backend per graph"
+            )
+        frontier = state.frontier
+        if len(frontier) == 0:
+            return
+        n, q = state.n_nodes, state.n_keywords
+        segment = self._ensure_segment(n, q)
+        views = _views(segment.buf, n, q)
+        # Copy the state in (Θ(q·|V|) bytes).
+        views["matrix"][:] = state.matrix
+        views["f_identifier"][:] = state.f_identifier
+        views["c_identifier"][:] = state.c_identifier
+        views["keyword"][:] = state.keyword_node.astype(np.uint8)
+        views["activation"][:] = state.activation
+
+        n_chunks = min(len(frontier), self.n_processes * self.chunks_per_process)
+        if n_chunks <= 1 or self.n_processes == 1:
+            chunks = [frontier]
+        else:
+            chunks = [c for c in np.array_split(frontier, n_chunks) if len(c)]
+        tasks = [
+            (segment.name, n, q, level, chunk) for chunk in chunks
+        ]
+        self._pool.map(_expand_chunk_task, tasks)
+
+        # Copy the mutated state back.
+        state.matrix[:] = views["matrix"]
+        state.f_identifier[:] = views["f_identifier"]
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+        if self._segment is not None:
+            self._segment.close()
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - double close
+                pass
+            self._segment = None

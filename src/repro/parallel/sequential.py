@@ -1,0 +1,74 @@
+"""Reference (single-threaded) implementation of Algorithm 2.
+
+This is the paper's expansion procedure transcribed line by line. It is
+the semantic oracle: every other backend must produce bit-identical
+``M`` / ``FIdentifier`` updates (tests enforce this), and the threaded
+backend reuses :func:`expand_frontier_chunk` as its per-chunk kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.state import INFINITE_LEVEL, SearchState
+from ..graph.csr import KnowledgeGraph
+from .backend import ExpansionBackend
+
+
+def expand_frontier_chunk(
+    graph: KnowledgeGraph,
+    state: SearchState,
+    level: int,
+    frontier_chunk: Sequence[int],
+) -> None:
+    """Algorithm 2 over a subset of the frontier.
+
+    For every frontier ``v_f`` (line 1): skip identified Central Nodes
+    (line 2-3); an inactive frontier (``a_f > l``) re-flags itself and
+    waits (line 5-7). For each BFS instance ``B_i`` in which ``v_f`` is
+    already hit at level ≤ l (line 8-11), scan its neighbors (line 12):
+    unvisited neighbors whose activation allows being hit at ``l + 1`` get
+    ``M[v_n][i] = l + 1`` and are flagged (line 21-22); inactive
+    non-keyword neighbors instead keep ``v_f`` in the frontier so the edge
+    is retried later (line 18-20). Keyword nodes may be hit regardless of
+    activation (Section IV-B).
+    """
+    matrix = state.matrix
+    f_identifier = state.f_identifier
+    c_identifier = state.c_identifier
+    activation = state.activation
+    keyword_node = state.keyword_node
+    next_level = level + 1
+    n_keywords = state.n_keywords
+
+    for node in frontier_chunk:
+        node = int(node)
+        if c_identifier[node]:
+            continue
+        if activation[node] > level:
+            f_identifier[node] = 1
+            continue
+        neighbors = graph.adj.neighbors(node)
+        for column in range(n_keywords):
+            if matrix[node, column] > level:
+                # Not yet hit (∞) in B_i, or hit later than the current
+                # level — either way v_f does not expand in this instance.
+                continue
+            for neighbor in neighbors:
+                neighbor = int(neighbor)
+                if matrix[neighbor, column] != INFINITE_LEVEL:
+                    continue
+                if not keyword_node[neighbor] and activation[neighbor] > next_level:
+                    f_identifier[node] = 1
+                    continue
+                matrix[neighbor, column] = next_level
+                f_identifier[neighbor] = 1
+
+
+class SequentialBackend(ExpansionBackend):
+    """Single-threaded reference backend (the paper's Tnum = 1 case)."""
+
+    name = "sequential"
+
+    def expand(self, graph: KnowledgeGraph, state: SearchState, level: int) -> None:
+        expand_frontier_chunk(graph, state, level, state.frontier)

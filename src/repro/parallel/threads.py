@@ -1,0 +1,73 @@
+"""Thread-pool expansion — the reproduction's "CPU-Par".
+
+The paper's CPU implementation uses coarse-grained parallelism: OpenMP
+threads each grab a whole frontier node under dynamic scheduling, because
+fine-grained (per-neighbor) work splitting costs more in coordination than
+it saves. We mirror that: the frontier is cut into chunks and a persistent
+thread pool runs the reference Algorithm 2 kernel on each chunk.
+
+No locks are taken. Chunks share ``M`` and ``FIdentifier`` but only ever
+write the constants ``level + 1`` and ``1`` (Theorem V.2), so interleaved
+writes are harmless. Note on fidelity: CPython's GIL serializes the pure-
+Python kernel, so wall-clock *speedup* is not expected here — the backend
+reproduces the scheduling structure and lock-free semantics, and the GIL
+limitation is reported in EXPERIMENTS.md as a documented substitution.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor, wait
+
+import numpy as np
+
+from ..core.state import SearchState
+from ..graph.csr import KnowledgeGraph
+from .backend import ExpansionBackend
+from .sequential import expand_frontier_chunk
+
+
+class ThreadPoolBackend(ExpansionBackend):
+    """Coarse-grained dynamic scheduling of frontier chunks over threads.
+
+    Args:
+        n_threads: worker count (the paper's Tnum).
+        chunks_per_thread: how many chunks each worker should see on
+            average; more chunks = finer dynamic balancing, more dispatch
+            overhead. Four mirrors OpenMP dynamic scheduling granularity.
+    """
+
+    def __init__(self, n_threads: int = 4, chunks_per_thread: int = 4) -> None:
+        if n_threads < 1:
+            raise ValueError("n_threads must be positive")
+        if chunks_per_thread < 1:
+            raise ValueError("chunks_per_thread must be positive")
+        self.n_threads = n_threads
+        self.chunks_per_thread = chunks_per_thread
+        self.name = f"threads[{n_threads}]"
+        self._pool = ThreadPoolExecutor(
+            max_workers=n_threads, thread_name_prefix="expansion"
+        )
+
+    def expand(self, graph: KnowledgeGraph, state: SearchState, level: int) -> None:
+        frontier = state.frontier
+        if len(frontier) == 0:
+            return
+        n_chunks = min(
+            len(frontier), self.n_threads * self.chunks_per_thread
+        )
+        if n_chunks <= 1 or self.n_threads == 1:
+            expand_frontier_chunk(graph, state, level, frontier)
+            return
+        chunks = np.array_split(frontier, n_chunks)
+        futures = [
+            self._pool.submit(expand_frontier_chunk, graph, state, level, chunk)
+            for chunk in chunks
+            if len(chunk)
+        ]
+        done, _ = wait(futures)
+        for future in done:
+            # Surface worker exceptions instead of swallowing them.
+            future.result()
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)

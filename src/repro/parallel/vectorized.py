@@ -1,0 +1,101 @@
+"""Vectorized (NumPy) expansion — the reproduction's "GPU-Par".
+
+The paper's GPU kernel assigns one warp per (frontier, BFS instance) pair
+and one thread per neighbor; every thread does the same small amount of
+branch-light work on flat arrays. NumPy whole-array kernels are the same
+computational model executed on the CPU's SIMD units: the frontier's
+neighbor ranges are gathered into one flat array and each Algorithm 2
+condition becomes a boolean mask.
+
+Writes remain idempotent scatter-stores (``M[hit, i] = level + 1``,
+``FIdentifier[...] = 1``), so the semantics match the lock-free kernel
+exactly; duplicate indices in a scatter simply write the same value twice,
+NumPy's equivalent of the paper's benign write races.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.state import INFINITE_LEVEL, SearchState
+from ..graph.csr import KnowledgeGraph
+from .backend import ExpansionBackend
+
+
+def _gather_neighbor_arrays(
+    graph: KnowledgeGraph, frontier: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Flatten the frontier's adjacency lists.
+
+    Returns:
+        ``(sources, neighbors)`` — parallel arrays with one entry per
+        (frontier node, neighbor) pair, in CSR order.
+    """
+    indptr = graph.adj.indptr
+    starts = indptr[frontier]
+    degrees = indptr[frontier + 1] - starts
+    total = int(degrees.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    offsets = np.concatenate(([0], np.cumsum(degrees)[:-1]))
+    positions = np.repeat(starts - offsets, degrees) + np.arange(total)
+    neighbors = graph.adj.indices[positions].astype(np.int64)
+    sources = np.repeat(frontier, degrees)
+    return sources, neighbors
+
+
+class VectorizedBackend(ExpansionBackend):
+    """Data-parallel expansion over flat frontier/neighbor arrays."""
+
+    name = "vectorized"
+
+    def expand(self, graph: KnowledgeGraph, state: SearchState, level: int) -> None:
+        frontier = state.frontier
+        if len(frontier) == 0:
+            return
+        matrix = state.matrix
+        f_identifier = state.f_identifier
+        activation = state.activation
+        next_level = level + 1
+
+        # Line 2-3: identified Central Nodes never expand.
+        frontier = frontier[state.c_identifier[frontier] == 0]
+        if len(frontier) == 0:
+            return
+        # Line 5-7: inactive frontiers re-flag themselves and wait.
+        inactive = activation[frontier] > level
+        f_identifier[frontier[inactive]] = 1
+        frontier = frontier[~inactive]
+        if len(frontier) == 0:
+            return
+
+        sources, neighbors = _gather_neighbor_arrays(graph, frontier)
+        if len(sources) == 0:
+            return
+        neighbor_is_keyword = state.keyword_node[neighbors]
+        neighbor_blocked = ~neighbor_is_keyword & (
+            activation[neighbors] > next_level
+        )
+
+        for column in range(state.n_keywords):
+            # Line 9-11: the source must already be hit at level ≤ l in B_i.
+            eligible = matrix[sources, column] <= level
+            if not eligible.any():
+                continue
+            # Line 14-15: only unvisited neighbors can be hit.
+            unvisited = matrix[neighbors, column] == INFINITE_LEVEL
+            active_pairs = eligible & unvisited
+            if not active_pairs.any():
+                continue
+            # Line 18-20: inactive non-keyword neighbors keep the source
+            # in the frontier for a retry at a later level.
+            blocked_pairs = active_pairs & neighbor_blocked
+            if blocked_pairs.any():
+                f_identifier[sources[blocked_pairs]] = 1
+            # Line 21-22: hit the remaining neighbors.
+            hit_pairs = active_pairs & ~neighbor_blocked
+            if hit_pairs.any():
+                hit = neighbors[hit_pairs]
+                matrix[hit, column] = next_level
+                f_identifier[hit] = 1

@@ -1,0 +1,214 @@
+"""A WikiSearch-style HTTP search service (standard library only).
+
+The paper ships its engine as an always-on web service ("We provide an
+online query service and name it WikiSearch"). This module is the
+reproduction's equivalent: a small JSON-over-HTTP API plus a minimal
+HTML page, built on :mod:`http.server` so it carries no dependencies.
+
+Endpoints:
+
+* ``GET /``                     — HTML search page,
+* ``GET /search?q=...&k=...&alpha=...`` — JSON answers,
+* ``GET /healthz``              — liveness probe.
+
+The query logic lives in :class:`SearchService`, a plain object that is
+fully testable without sockets; the HTTP handler is a thin shell.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict
+from urllib.parse import parse_qs, urlparse
+
+from .core.central_graph import SearchAnswer
+from .core.engine import EmptyQueryError, KeywordSearchEngine
+from .graph.csr import KnowledgeGraph
+from .viz import edge_predicates
+
+_PAGE = """<!doctype html>
+<html><head><meta charset="utf-8"><title>WikiSearch (reproduction)</title>
+<style>
+ body {{ font-family: sans-serif; margin: 2rem auto; max-width: 48rem; }}
+ input[type=text] {{ width: 24rem; }}
+ pre {{ background: #f6f6f6; padding: 0.5rem; }}
+</style></head>
+<body>
+<h1>WikiSearch — Central Graph keyword search (reproduction)</h1>
+<p>{n_nodes} nodes / {n_edges} edges indexed. Quote phrases:
+<code>"gradient descent" xml</code>.</p>
+<form action="/search" method="get">
+  <input type="text" name="q" placeholder="keywords...">
+  <input type="hidden" name="pretty" value="1">
+  k <input type="number" name="k" value="5" min="1" max="50" style="width:4rem">
+  &alpha; <input type="number" name="alpha" value="0.1" step="0.05"
+                 min="0.01" max="0.99" style="width:5rem">
+  <button type="submit">Search</button>
+</form>
+</body></html>
+"""
+
+
+@dataclass
+class ServiceStats:
+    """Rolling counters exposed for monitoring."""
+
+    queries: int = 0
+    errors: int = 0
+
+
+class SearchService:
+    """HTTP-agnostic query service wrapping one engine."""
+
+    def __init__(self, engine: KeywordSearchEngine) -> None:
+        self.engine = engine
+        self.graph: KnowledgeGraph = engine.graph
+        self.stats = ServiceStats()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Pure request logic (unit-testable)
+    # ------------------------------------------------------------------
+    def index_page(self) -> str:
+        return _PAGE.format(
+            n_nodes=self.graph.n_nodes, n_edges=self.graph.n_edges
+        )
+
+    def answer_payload(self, answer: SearchAnswer) -> Dict:
+        """JSON-serializable view of one ranked answer."""
+        graph = self.graph
+        central = answer.graph
+        return {
+            "central_node": central.central_node,
+            "central_text": graph.node_text[central.central_node],
+            "depth": central.depth,
+            "score": answer.score,
+            "nodes": [
+                {
+                    "id": node,
+                    "text": graph.node_text[node],
+                    "keywords": [
+                        answer.keywords[column]
+                        for column in sorted(
+                            central.keyword_contributions.get(node, ())
+                        )
+                        if column < len(answer.keywords)
+                    ],
+                }
+                for node in sorted(central.nodes)
+            ],
+            "edges": [
+                {
+                    "source": source,
+                    "target": target,
+                    "predicates": edge_predicates(graph, source, target),
+                }
+                for source, target in sorted(central.edges)
+            ],
+        }
+
+    def handle_search(
+        self,
+        query: str,
+        k: int = 5,
+        alpha: float = 0.1,
+    ) -> "tuple[int, Dict]":
+        """Run one query; returns (http_status, json_payload)."""
+        if not query.strip():
+            return 400, {"error": "missing query parameter 'q'"}
+        if not (1 <= k <= 100):
+            return 400, {"error": "k must be between 1 and 100"}
+        if not (0.0 < alpha < 1.0):
+            return 400, {"error": "alpha must lie strictly in (0, 1)"}
+        from .text.suggest import suggest_for_dropped
+
+        with self._lock:
+            self.stats.queries += 1
+        try:
+            result = self.engine.search(query, k=k, alpha=alpha)
+        except EmptyQueryError as error:
+            with self._lock:
+                self.stats.errors += 1
+            # "Did you mean": nearby vocabulary for the unmatched terms.
+            suggestions = suggest_for_dropped(
+                self.engine.index, query.split()
+            )
+            return 404, {"error": str(error), "suggestions": suggestions}
+        payload = {
+            "query": query,
+            "keywords": list(result.keywords),
+            "dropped_terms": list(result.dropped_terms),
+            "depth": result.depth,
+            "n_central_nodes": result.n_central_nodes,
+            "milliseconds": result.milliseconds(),
+            "answers": [
+                self.answer_payload(answer) for answer in result.answers
+            ],
+        }
+        if result.dropped_terms:
+            payload["suggestions"] = suggest_for_dropped(
+                self.engine.index, result.dropped_terms
+            )
+        return 200, payload
+
+    def handle_path(self, path: str) -> "tuple[int, str, str]":
+        """Dispatch one GET path; returns (status, content_type, body)."""
+        parsed = urlparse(path)
+        if parsed.path == "/":
+            return 200, "text/html; charset=utf-8", self.index_page()
+        if parsed.path == "/healthz":
+            return 200, "application/json", json.dumps(
+                {"status": "ok", "queries": self.stats.queries}
+            )
+        if parsed.path == "/search":
+            params = parse_qs(parsed.query)
+            query = params.get("q", [""])[0]
+            try:
+                k = int(params.get("k", ["5"])[0])
+                alpha = float(params.get("alpha", ["0.1"])[0])
+            except ValueError:
+                return 400, "application/json", json.dumps(
+                    {"error": "k and alpha must be numeric"}
+                )
+            status, payload = self.handle_search(query, k=k, alpha=alpha)
+            indent = 2 if params.get("pretty") else None
+            return status, "application/json", json.dumps(payload, indent=indent)
+        return 404, "application/json", json.dumps({"error": "not found"})
+
+
+class _Handler(BaseHTTPRequestHandler):
+    service: SearchService  # injected by create_server
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        status, content_type, body = self.service.handle_path(self.path)
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep test output quiet; hook in real logging if needed
+
+
+def create_server(
+    engine: KeywordSearchEngine,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ThreadingHTTPServer:
+    """Build a ready-to-serve HTTP server (port 0 = ephemeral).
+
+    Call ``serve_forever()`` on the result, or run it in a thread:
+
+    >>> server = create_server(engine)          # doctest: +SKIP
+    >>> threading.Thread(target=server.serve_forever, daemon=True).start()
+    """
+    service = SearchService(engine)
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.service = service  # type: ignore[attr-defined]
+    return server

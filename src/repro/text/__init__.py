@@ -1,0 +1,26 @@
+"""Text pipeline: tokenization, stemming, stopwords, keyword index."""
+
+from .index_io import load_index, save_index
+from .inverted_index import InvertedIndex
+from .query_parser import ParsedQuery, parse_query, resolve_keyword_groups
+from .stemmer import porter_stem
+from .stopwords import ENGLISH_STOPWORDS, is_stopword
+from .suggest import levenshtein, suggest_for_dropped, suggest_terms
+from .tokenizer import Tokenizer, TokenizerConfig
+
+__all__ = [
+    "ENGLISH_STOPWORDS",
+    "InvertedIndex",
+    "ParsedQuery",
+    "Tokenizer",
+    "TokenizerConfig",
+    "is_stopword",
+    "levenshtein",
+    "load_index",
+    "parse_query",
+    "porter_stem",
+    "resolve_keyword_groups",
+    "save_index",
+    "suggest_for_dropped",
+    "suggest_terms",
+]

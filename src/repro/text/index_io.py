@@ -1,0 +1,74 @@
+"""Persistence for the inverted keyword index.
+
+Rebuilding the index from node text is linear but not free; production
+deployments (the paper's always-on WikiSearch service) keep it on disk
+beside the graph. The format pairs an NPZ of concatenated postings with
+a JSON sidecar holding the term list and tokenizer configuration, so a
+reload reproduces the exact same lookup behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+import numpy as np
+
+from .inverted_index import InvertedIndex
+from .tokenizer import Tokenizer, TokenizerConfig
+
+_FORMAT_VERSION = 1
+
+
+def save_index(index: InvertedIndex, path: str) -> None:
+    """Write ``index`` to ``path`` (``.npz``) + ``path + '.meta.json'``."""
+    postings = [
+        index.nodes_for_normalized_term(term) for term in index.terms
+    ]
+    lengths = np.array([len(p) for p in postings], dtype=np.int64)
+    flat = (
+        np.concatenate(postings)
+        if postings
+        else np.empty(0, dtype=np.int64)
+    )
+    np.savez_compressed(path, lengths=lengths, flat=flat)
+    meta = {
+        "version": _FORMAT_VERSION,
+        "terms": list(index.terms),
+        "n_nodes": index.n_nodes,
+        "tokenizer": asdict(index.tokenizer.config),
+    }
+    with open(_meta_path(path), "w", encoding="utf-8") as handle:
+        json.dump(meta, handle)
+
+
+def load_index(path: str) -> InvertedIndex:
+    """Reload an index written by :func:`save_index`.
+
+    Raises:
+        FileNotFoundError: if either file is missing.
+        ValueError: on an unsupported format version.
+    """
+    npz_path = path if path.endswith(".npz") else path + ".npz"
+    with open(_meta_path(path), "r", encoding="utf-8") as handle:
+        meta = json.load(handle)
+    if meta.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported index format version: {meta.get('version')}")
+    with np.load(npz_path) as data:
+        lengths = data["lengths"]
+        flat = data["flat"]
+
+    tokenizer = Tokenizer(TokenizerConfig(**meta["tokenizer"]))
+    offsets = np.concatenate(([0], np.cumsum(lengths)))
+    postings = [
+        flat[offsets[position]:offsets[position + 1]].astype(np.int64)
+        for position in range(len(meta["terms"]))
+    ]
+    return InvertedIndex.from_parts(
+        tokenizer, meta["terms"], postings, int(meta["n_nodes"])
+    )
+
+
+def _meta_path(path: str) -> str:
+    base = path[:-4] if path.endswith(".npz") else path
+    return base + ".meta.json"

@@ -1,0 +1,32 @@
+"""English stopword list used by the keyword pipeline.
+
+The paper filters stop words before building the keyword universe ("5
+million keywords after stopping word filtering and word stemming"). This
+is a compact, standard list — large enough to strip function words from
+entity labels, small enough to audit.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+ENGLISH_STOPWORDS: FrozenSet[str] = frozenset(
+    """
+    a about above after again against all am an and any are aren as at be
+    because been before being below between both but by can cannot could
+    couldn did didn do does doesn doing don down during each few for from
+    further had hadn has hasn have haven having he her here hers herself
+    him himself his how i if in into is isn it its itself just me more
+    most mustn my myself no nor not of off on once only or other our ours
+    ourselves out over own same shan she should shouldn so some such than
+    that the their theirs them themselves then there these they this
+    those through to too under until up very was wasn we were weren what
+    when where which while who whom why will with won would wouldn you
+    your yours yourself yourselves
+    """.split()
+)
+
+
+def is_stopword(token: str) -> bool:
+    """True when ``token`` (already lowercased) is a stopword."""
+    return token in ENGLISH_STOPWORDS

@@ -1,0 +1,94 @@
+"""Term suggestions for unmatched query keywords ("did you mean").
+
+A keyword that matches no node produces an empty ``T_i`` and is dropped;
+a user-facing engine (the paper's WikiSearch service) should offer
+nearby vocabulary terms instead. Suggestions rank by Levenshtein edit
+distance over the *normalized* vocabulary, breaking ties toward more
+frequent terms. The edit-distance implementation is the standard
+two-row dynamic program with an early-exit band, dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .inverted_index import InvertedIndex
+
+
+def levenshtein(a: str, b: str, cap: Optional[int] = None) -> int:
+    """Edit distance between two strings.
+
+    Args:
+        cap: optional upper bound; once every cell of a row exceeds it,
+            ``cap + 1`` is returned immediately (distance pruning).
+    """
+    if a == b:
+        return 0
+    if len(a) < len(b):
+        a, b = b, a  # ensure b is the shorter (narrower rows)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for row, char_a in enumerate(a, start=1):
+        current = [row]
+        best = row
+        for column, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            value = min(
+                previous[column] + 1,        # deletion
+                current[column - 1] + 1,     # insertion
+                previous[column - 1] + cost, # substitution
+            )
+            current.append(value)
+            if value < best:
+                best = value
+        if cap is not None and best > cap:
+            return cap + 1
+        previous = current
+    return previous[-1]
+
+
+def suggest_terms(
+    index: InvertedIndex,
+    term: str,
+    max_distance: int = 2,
+    limit: int = 5,
+) -> List[Tuple[str, int]]:
+    """Indexed terms within ``max_distance`` edits of ``term``.
+
+    The input is normalized through the index's tokenizer first, so
+    inflected forms are compared stem-to-stem. Results are
+    ``(term, distance)`` pairs ordered by (distance, -frequency, term).
+
+    Returns an empty list when the term normalizes away entirely
+    (stopwords, punctuation).
+    """
+    normalized = index.tokenizer.tokenize(term)
+    if len(normalized) != 1:
+        return []
+    needle = normalized[0]
+    scored: List[Tuple[int, int, str]] = []
+    for candidate in index.terms:
+        if abs(len(candidate) - len(needle)) > max_distance:
+            continue
+        distance = levenshtein(needle, candidate, cap=max_distance)
+        if distance <= max_distance:
+            frequency = len(index.nodes_for_normalized_term(candidate))
+            scored.append((distance, -frequency, candidate))
+    scored.sort()
+    return [(candidate, distance) for distance, _, candidate in scored[:limit]]
+
+
+def suggest_for_dropped(
+    index: InvertedIndex,
+    dropped_terms: "list[str] | tuple[str, ...]",
+    max_distance: int = 2,
+    limit: int = 3,
+) -> "dict[str, list[str]]":
+    """Suggestions for every dropped query term (service convenience)."""
+    suggestions = {}
+    for term in dropped_terms:
+        matches = suggest_terms(index, term, max_distance, limit)
+        if matches:
+            suggestions[term] = [candidate for candidate, _ in matches]
+    return suggestions

@@ -1,0 +1,75 @@
+"""Tokenization of entity text into normalized keyword terms.
+
+The pipeline mirrors the paper's preprocessing: lowercase, split on
+non-alphanumerics, drop stopwords, drop non-English/garbage tokens, then
+Porter-stem. The same pipeline normalizes both the indexed entity text and
+incoming query strings so that they meet in one keyword space.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from .stemmer import porter_stem
+from .stopwords import is_stopword
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+
+@dataclass(frozen=True)
+class TokenizerConfig:
+    """Normalization knobs.
+
+    Attributes:
+        stem: apply the Porter stemmer (paper: "word stemming").
+        remove_stopwords: drop English stopwords (paper: "stopping word
+            filtering").
+        min_length: discard tokens shorter than this after normalization.
+        keep_numbers: keep purely numeric tokens (years etc.); off by
+            default since they behave like stopwords in entity labels.
+    """
+
+    stem: bool = True
+    remove_stopwords: bool = True
+    min_length: int = 2
+    keep_numbers: bool = False
+
+
+class Tokenizer:
+    """Reusable text → keyword-term normalizer.
+
+    >>> Tokenizer().tokenize("Efficient Indexing of Relational Databases")
+    ['effici', 'index', 'relat', 'databas']
+    """
+
+    def __init__(self, config: TokenizerConfig = TokenizerConfig()) -> None:
+        self.config = config
+
+    def tokenize(self, text: str) -> List[str]:
+        """Normalize ``text`` into an ordered list of keyword terms."""
+        config = self.config
+        terms: List[str] = []
+        for match in _TOKEN_PATTERN.finditer(text.lower()):
+            token = match.group()
+            if not config.keep_numbers and token.isdigit():
+                continue
+            if config.remove_stopwords and is_stopword(token):
+                continue
+            if config.stem:
+                token = porter_stem(token)
+            if len(token) < config.min_length:
+                continue
+            terms.append(token)
+        return terms
+
+    def unique_terms(self, text: str) -> List[str]:
+        """Like :meth:`tokenize` but deduplicated, preserving first-seen order."""
+        seen = set()
+        result: List[str] = []
+        for term in self.tokenize(text):
+            if term not in seen:
+                seen.add(term)
+                result.append(term)
+        return result

@@ -1,0 +1,101 @@
+"""Penalty-and-Reward activation mapping (Eq. 3-5) and Fig. 3 data."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.activation import (
+    ActivationModel,
+    activation_distribution,
+    activation_levels,
+    distribution_table,
+)
+
+
+def test_weight_equal_alpha_maps_to_rounded_A():
+    levels = activation_levels(np.array([0.1]), average_distance=3.68, alpha=0.1)
+    assert levels[0] == 4  # Rounding(3.68)
+
+
+def test_reward_and_penalty_hand_computed():
+    # A = 4.0, alpha = 0.5:
+    #  w=0.0  -> reward = 4*(0.5-0)/0.5 = 4  -> a = 0
+    #  w=0.25 -> reward = 4*0.25/0.5 = 2     -> a = 2
+    #  w=0.75 -> penalty = 4*(0.25)/0.5 = 2  -> a = 6
+    #  w=1.0  -> penalty = 4*(0.5)/0.5 = 4   -> a = 8
+    weights = np.array([0.0, 0.25, 0.75, 1.0])
+    levels = activation_levels(weights, average_distance=4.0, alpha=0.5)
+    assert list(levels) == [0, 2, 6, 8]
+
+
+def test_levels_never_negative():
+    levels = activation_levels(
+        np.array([0.0]), average_distance=1.2, alpha=0.9
+    )
+    assert levels[0] >= 0
+
+
+def test_alpha_bounds_enforced():
+    with pytest.raises(ValueError):
+        activation_levels(np.array([0.5]), 3.0, alpha=0.0)
+    with pytest.raises(ValueError):
+        activation_levels(np.array([0.5]), 3.0, alpha=1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    weights=st.lists(st.floats(0, 1), min_size=1, max_size=30),
+    alpha=st.floats(0.01, 0.99),
+    average=st.floats(1.0, 8.0),
+)
+def test_monotone_in_weight(weights, alpha, average):
+    """Heavier (more summarizing) nodes never activate earlier."""
+    array = np.array(sorted(weights))
+    levels = activation_levels(array, average, alpha)
+    assert (np.diff(levels) >= 0).all()
+    # Bounded by Rounding(A + A) and floored at 0.
+    assert levels.max() <= round(2 * average) + 1
+    assert levels.min() >= 0
+
+
+def test_larger_alpha_never_raises_levels():
+    """Fig. 3's knob: growing α maps more nodes to small levels."""
+    rng = np.random.default_rng(0)
+    weights = rng.random(200)
+    small = activation_levels(weights, 3.68, alpha=0.05)
+    large = activation_levels(weights, 3.68, alpha=0.4)
+    assert (large <= small).all()
+    assert large.sum() < small.sum()
+
+
+def test_activation_model_caches_fields():
+    weights = np.array([0.0, 0.5, 1.0])
+    model = ActivationModel.from_weights(weights, 3.0, 0.1)
+    assert model.alpha == 0.1
+    assert model.max_level == int(model.levels.max())
+
+
+def test_distribution_sums_to_one():
+    levels = np.array([0, 0, 1, 2, 3, 4, 7, 9])
+    table = activation_distribution(levels, tail_start=4)
+    assert set(table) == {"0", "1", "2", "3", ">=4"}
+    assert abs(sum(table.values()) - 1.0) < 1e-12
+    assert table["0"] == 0.25
+    assert table[">=4"] == 3 / 8
+
+
+def test_distribution_empty():
+    assert activation_distribution(np.array([], dtype=int)) == {}
+
+
+def test_distribution_table_fig3_shape(tiny_graph):
+    """Fig. 3: larger α shifts node mass toward small activation levels."""
+    from repro.core.weights import node_weights
+
+    weights = node_weights(tiny_graph)
+    table = distribution_table(weights, average_distance=3.68)
+    assert set(table) == {0.05, 0.1, 0.4}
+    low_alpha_small = table[0.05]["0"] + table[0.05]["1"]
+    high_alpha_small = table[0.4]["0"] + table[0.4]["1"]
+    assert high_alpha_small >= low_alpha_small

@@ -1,0 +1,150 @@
+"""BANKS-I / BANKS-II baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.banks import (
+    TERMINATED_BUDGET,
+    BanksConfig,
+    BanksI,
+    BanksII,
+)
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import chain_graph, star_graph
+from repro.text.inverted_index import InvertedIndex
+
+
+def _indexed(graph):
+    return InvertedIndex.from_graph(graph)
+
+
+def _chain_with_keywords():
+    builder = GraphBuilder()
+    texts = ["apple start", "plain", "middle stone", "plain two", "banana finish"]
+    for text in texts:
+        builder.add_node(text)
+    for i in range(4):
+        builder.add_edge(i, i + 1, "next")
+    return builder.build()
+
+
+def test_banks1_finds_middle_root():
+    graph = _chain_with_keywords()
+    banks = BanksI(graph, _indexed(graph))
+    result = banks.search("apple banana", k=3)
+    assert result.answers
+    best = result.answers[0]
+    # Best root is the midpoint: total path length 4 regardless of root,
+    # so prestige and determinism decide; the tree must span 0..4.
+    assert best.nodes >= {0, 4}
+    assert best.score <= 4.0
+    # Tree paths are genuine graph paths.
+    for column, path in best.paths.items():
+        assert path[0] == best.root
+        for u, v in zip(path, path[1:]):
+            assert v in set(int(x) for x in graph.neighbors(u))
+
+
+def test_banks_answer_when_one_node_has_all_keywords():
+    builder = GraphBuilder()
+    builder.add_node("apple banana")
+    builder.add_node("other")
+    builder.add_edge(0, 1, "p")
+    graph = builder.build()
+    result = BanksI(graph, _indexed(graph)).search("apple banana", k=1)
+    best = result.answers[0]
+    assert best.root == 0
+    assert best.paths[0] == [0]
+    assert best.paths[1] == [0]
+    assert best.score <= 0.0  # zero paths minus prestige bonus
+
+
+def test_banks1_scores_are_sorted():
+    graph = _chain_with_keywords()
+    result = BanksI(graph, _indexed(graph)).search("apple banana", k=5)
+    scores = [answer.score for answer in result.answers]
+    assert scores == sorted(scores)
+
+
+def test_banks2_also_finds_connecting_tree():
+    graph = _chain_with_keywords()
+    result = BanksII(graph, _indexed(graph)).search("apple stone banana", k=2)
+    assert result.answers
+    best = result.answers[0]
+    assert {0, 2, 4} <= best.nodes
+
+
+def test_banks2_prefers_high_degree_roots_on_ties():
+    # A hub and a leaf both connect the two keyword carriers at equal
+    # distance; prestige must favor the hub.
+    builder = GraphBuilder()
+    hub = builder.add_node("hub")
+    left = builder.add_node("apple")
+    right = builder.add_node("banana")
+    leaf = builder.add_node("plain")
+    builder.add_edge(left, hub, "p")
+    builder.add_edge(right, hub, "p")
+    builder.add_edge(left, leaf, "p")
+    builder.add_edge(right, leaf, "p")
+    for i in range(5):  # extra degree for the hub
+        extra = builder.add_node(f"extra {i}")
+        builder.add_edge(extra, hub, "p")
+    graph = builder.build()
+    result = BanksII(graph, _indexed(graph)).search("apple banana", k=4)
+    connectors = [a.root for a in result.answers if a.root in (hub, leaf)]
+    assert connectors[0] == hub
+
+
+def test_banks_budget_termination():
+    graph = star_graph(50)
+    config = BanksConfig(max_pops=5)
+    result = BanksII(graph, _indexed(graph)).search("leaf hub", k=2)
+    budget = BanksII(graph, _indexed(graph), config).search("leaf hub", k=2)
+    assert budget.terminated == TERMINATED_BUDGET
+    assert budget.nodes_popped <= 6
+    assert result.nodes_popped > budget.nodes_popped
+
+
+def test_banks_unknown_query_raises():
+    graph = chain_graph(3)
+    with pytest.raises(ValueError):
+        BanksI(graph, _indexed(graph)).search("zzz qqq")
+
+
+def test_banks1_optimal_on_grid():
+    """BANKS-I distances are Dijkstra distances: score is optimal."""
+    from repro.graph.generators import grid_graph
+    from repro.graph.algorithms import bfs_levels
+
+    grid = grid_graph(3, 3)
+    # Rename two corners so they carry keywords.
+    grid.node_text[0] = "apple corner"
+    grid.node_text[8] = "banana corner"
+    index = InvertedIndex.from_graph(grid)
+    result = BanksI(grid, index).search("apple banana", k=1)
+    best = result.answers[0]
+    d0 = bfs_levels(grid, [0])
+    d8 = bfs_levels(grid, [8])
+    optimal = min(int(d0[v] + d8[v]) for v in range(grid.n_nodes))
+    # Score = path sum − prestige bonus; path sum must be optimal.
+    path_sum = sum(len(p) - 1 for p in best.paths.values())
+    assert path_sum == optimal
+
+
+def test_banks2_exhaustive_equals_banks1_coverage():
+    """Activation order changes the schedule, not final reachability."""
+    graph = _chain_with_keywords()
+    index = _indexed(graph)
+    roots1 = {a.root for a in BanksI(graph, index).search("apple banana", k=10).answers}
+    roots2 = {a.root for a in BanksII(graph, index).search("apple banana", k=10).answers}
+    assert roots1 == roots2
+
+
+def test_baseline_result_helpers():
+    graph = _chain_with_keywords()
+    result = BanksI(graph, _indexed(graph)).search("apple banana", k=2)
+    assert len(result) == len(result.answers)
+    node_sets = result.answer_node_sets()
+    assert all(isinstance(s, set) for s in node_sets)
+    described = result.answers[0].describe(graph.node_text)
+    assert "AnswerTree" in described

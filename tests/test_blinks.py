@@ -1,0 +1,123 @@
+"""BLINKS baseline: per-term index, query scan, feasibility accounting."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.blinks import Blinks, BlinksIndex
+from repro.graph.algorithms import bfs_levels
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import random_graph
+from repro.text.inverted_index import InvertedIndex
+
+
+def _keyword_graph():
+    builder = GraphBuilder()
+    texts = ["apple start", "middle", "stone here", "other", "banana end"]
+    for text in texts:
+        builder.add_node(text)
+    for i in range(4):
+        builder.add_edge(i, i + 1, "next")
+    return builder.build()
+
+
+def test_term_entry_distances_match_bfs():
+    graph = _keyword_graph()
+    index = InvertedIndex.from_graph(graph)
+    blinks_index = BlinksIndex(graph, index)
+    entry = blinks_index.ensure_term("apple")
+    expected = bfs_levels(graph, [0])
+    assert np.array_equal(entry.distances, expected.astype(entry.distances.dtype))
+
+
+def test_term_entry_parents_walk_to_carrier():
+    graph = _keyword_graph()
+    index = InvertedIndex.from_graph(graph)
+    entry = BlinksIndex(graph, index).ensure_term("banana")
+    node = 0
+    hops = 0
+    while entry.distances[node] > 0:
+        node = int(entry.parents[node])
+        hops += 1
+    assert node == 4
+    assert hops == entry.distances[0]
+
+
+def test_ensure_term_caches():
+    graph = _keyword_graph()
+    index = InvertedIndex.from_graph(graph)
+    blinks_index = BlinksIndex(graph, index)
+    first = blinks_index.ensure_term("apple")
+    second = blinks_index.ensure_term("apple")
+    assert first is second
+    assert blinks_index.n_indexed_terms == 1
+
+
+def test_unknown_term_returns_none():
+    graph = _keyword_graph()
+    index = InvertedIndex.from_graph(graph)
+    assert BlinksIndex(graph, index).ensure_term("zzz") is None
+
+
+def test_search_finds_optimal_root():
+    graph = _keyword_graph()
+    index = InvertedIndex.from_graph(graph)
+    result = Blinks(graph, index).search("apple banana", k=3)
+    assert result.answers
+    best = result.answers[0]
+    # Any root on the chain scores 4 (path sums); the tree must span it.
+    assert best.score == 4.0
+    assert {0, 4} <= best.nodes
+
+
+def test_search_rejects_unmatched_query():
+    graph = _keyword_graph()
+    index = InvertedIndex.from_graph(graph)
+    with pytest.raises(ValueError):
+        Blinks(graph, index).search("qqq www")
+
+
+def test_search_handles_disconnected_keywords():
+    builder = GraphBuilder()
+    builder.add_node("apple")
+    builder.add_node("banana")
+    builder.add_node("bridgeless")
+    builder.add_edge(0, 2, "p")
+    graph = builder.build()
+    index = InvertedIndex.from_graph(graph)
+    result = Blinks(graph, index).search("apple banana", k=2)
+    assert result.answers == []
+
+
+def test_blinks_agrees_with_banks1_scores(tiny_graph):
+    """Same scoring convention: the optimal root score must match."""
+    from repro.baselines.banks import BanksConfig, BanksI
+
+    index = InvertedIndex.from_graph(tiny_graph)
+    query = "machine learning"
+    blinks = Blinks(tiny_graph, index).search(query, k=1)
+    banks = BanksI(
+        tiny_graph, index, BanksConfig(prestige_bonus=0.0)
+    ).search(query, k=1)
+    assert blinks.answers and banks.answers
+    path_sum_blinks = sum(
+        len(p) - 1 for p in blinks.answers[0].paths.values()
+    )
+    path_sum_banks = sum(
+        len(p) - 1 for p in banks.answers[0].paths.values()
+    )
+    assert path_sum_blinks == path_sum_banks
+
+
+def test_feasibility_accounting(tiny_graph):
+    index = InvertedIndex.from_graph(tiny_graph)
+    blinks_index = BlinksIndex(tiny_graph, index)
+    blinks_index.ensure_term("machine")
+    per_term = blinks_index.per_term_nbytes()
+    assert per_term == tiny_graph.n_nodes * 12  # int32 + int64 per node
+    assert blinks_index.nbytes() == per_term
+    assert (
+        blinks_index.extrapolated_full_nbytes()
+        == index.n_terms * per_term
+    )
+    # The paper's argument: the full index dwarfs the graph itself.
+    assert blinks_index.extrapolated_full_nbytes() > 10 * tiny_graph.storage_nbytes()

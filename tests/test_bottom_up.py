@@ -1,0 +1,178 @@
+"""Bottom-up search: the Fig. 4 trace and top-(k,d) semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.bottom_up import (
+    TERMINATED_ENOUGH_ANSWERS,
+    TERMINATED_FRONTIER_EMPTY,
+    TERMINATED_LEVEL_CAP,
+    BottomUpSearch,
+)
+from repro.core.state import INFINITE_LEVEL
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import chain_graph
+
+from conftest import reference_hitting_levels, state_hitting_levels, zero_activation
+
+
+def _sets(*groups):
+    return [np.array(g, dtype=np.int64) for g in groups]
+
+
+def test_fig4_trace_exact(fig1):
+    """Example 4: hitting levels and the depth-4 Central Node at v2."""
+    searcher = BottomUpSearch(fig1.graph)
+    result = searcher.run(
+        _sets(*fig1.keyword_nodes), fig1.activation, k=1
+    )
+    state = result.state
+    assert result.terminated == TERMINATED_ENOUGH_ANSWERS
+    assert result.central_nodes == [(2, 4)]
+    assert result.depth == 4
+    matrix = state.matrix
+    # B0 = XML from v9: h(v6)=h(v7)=h(v8)=h(v3)=2 (Example 4).
+    assert matrix[6, 0] == 2
+    assert matrix[7, 0] == 2
+    assert matrix[8, 0] == 2
+    assert matrix[3, 0] == 2
+    # v2 hit at level 4 by all three instances.
+    assert matrix[2, 0] == 4
+    assert matrix[2, 1] == 4
+    assert matrix[2, 2] == 4
+    # v1 (SQL source) is hit by RDF at 1 + its own activation wait:
+    # v4/v5 expand at level 1, hitting v2's neighbors... v1 is not
+    # adjacent to v4/v5, so it stays unhit by B1 until through v2/v0.
+    assert matrix[1, 2] == 0  # its own keyword
+
+
+def test_no_expansion_at_level_zero_when_inactive(fig1):
+    """Fig. 4a: only v4 is active at level 0, and v3 blocks (a3 = 2)."""
+    searcher = BottomUpSearch(fig1.graph)
+    # Run with lmax=0 so only level 0 is processed (no expansion beyond).
+    result = BottomUpSearch(fig1.graph, lmax=1).run(
+        _sets(*fig1.keyword_nodes), fig1.activation, k=99
+    )
+    matrix = result.state.matrix
+    # After level-0 and level-1 expansion, v3 may be hit at level 2 at
+    # most; nothing can be hit at level 1 because every non-source
+    # neighbor is inactive at level 1 except... v3 has a3=2 > 1.
+    hit_levels = matrix[matrix != INFINITE_LEVEL]
+    assert (hit_levels <= 2).all()
+
+
+def test_chain_hitting_levels_without_activation():
+    chain = chain_graph(5)
+    searcher = BottomUpSearch(chain)
+    result = searcher.run(
+        _sets([0], [4]), zero_activation(chain), k=1
+    )
+    # BFS instances meet in the middle: v2 is the depth-2 Central Node.
+    assert (2, 2) in result.central_nodes
+    assert result.depth == 2
+    matrix = result.state.matrix
+    assert matrix[1, 0] == 1
+    assert matrix[2, 0] == 2
+    assert matrix[2, 1] == 2
+
+
+def test_single_keyword_sources_are_central_at_depth_zero(chain5):
+    result = BottomUpSearch(chain5).run(
+        _sets([1, 3]), zero_activation(chain5), k=2
+    )
+    assert result.terminated == TERMINATED_ENOUGH_ANSWERS
+    assert result.depth == 0
+    assert set(result.central_nodes) == {(1, 0), (3, 0)}
+
+
+def test_topkd_collects_all_central_nodes_at_final_depth(chain5):
+    """top-(k,d): even asking k=1, all depth-d Central Graphs arrive."""
+    result = BottomUpSearch(chain5).run(
+        _sets([1, 3]), zero_activation(chain5), k=1
+    )
+    # Both sources are identified at level 0 — the whole depth-0 cohort.
+    assert set(result.central_nodes) == {(1, 0), (3, 0)}
+
+
+def test_disconnected_keywords_terminate_on_empty_frontier():
+    builder = GraphBuilder()
+    for i in range(4):
+        builder.add_node(str(i))
+    builder.add_edge(0, 1, "p")
+    builder.add_edge(2, 3, "p")
+    graph = builder.build()
+    result = BottomUpSearch(graph).run(
+        _sets([0], [3]), zero_activation(graph), k=1
+    )
+    assert result.terminated == TERMINATED_FRONTIER_EMPTY
+    assert result.central_nodes == []
+
+
+def test_level_cap_respected(chain5):
+    result = BottomUpSearch(chain5, lmax=1).run(
+        _sets([0], [4]), zero_activation(chain5), k=1
+    )
+    assert result.terminated == TERMINATED_LEVEL_CAP
+    assert result.central_nodes == []
+    assert result.levels_executed <= 1
+
+
+def test_invalid_inputs(chain5):
+    searcher = BottomUpSearch(chain5)
+    with pytest.raises(ValueError):
+        searcher.run(_sets([0], []), zero_activation(chain5), k=1)
+    with pytest.raises(ValueError):
+        searcher.run(_sets([0]), zero_activation(chain5), k=0)
+    with pytest.raises(ValueError):
+        BottomUpSearch(chain5, lmax=0)
+    with pytest.raises(ValueError):
+        BottomUpSearch(chain5, lmax=255)
+
+
+def test_matches_reference_simulation_on_fig1(fig1):
+    result = BottomUpSearch(fig1.graph).run(
+        _sets(*fig1.keyword_nodes), fig1.activation, k=1
+    )
+    reference_hit, reference_centrals = reference_hitting_levels(
+        fig1.graph, fig1.keyword_nodes, fig1.activation, k=1
+    )
+    assert state_hitting_levels(result.state) == reference_hit
+    assert result.central_nodes == reference_centrals
+
+
+def test_keyword_nodes_hit_regardless_of_activation():
+    """Sec IV-B: keyword nodes may be *hit* before their activation level."""
+    chain = chain_graph(3)
+    activation = np.array([0, 9, 9], dtype=np.int32)
+    result = BottomUpSearch(chain, lmax=4).run(
+        _sets([0], [2]), activation, k=1
+    )
+    # v2 is a keyword node: B0 reaches v1? v1 is non-keyword with a=9 so
+    # it blocks — B0 can never pass through. No central node emerges.
+    assert result.central_nodes == []
+    # But had v1 been a keyword node it would be hit: make it one.
+    result2 = BottomUpSearch(chain, lmax=4).run(
+        _sets([0], [2], [1]), activation, k=1
+    )
+    matrix = result2.state.matrix
+    assert matrix[1, 0] == 1  # hit by B0 despite a=9
+
+
+def test_deep_chain_stays_within_uint8_levels():
+    """Hitting levels approach the one-byte ceiling without sentinel
+    collisions: expansion at level l writes l+1 <= lmax <= 254 < 255."""
+    chain = chain_graph(300)
+    result = BottomUpSearch(chain, lmax=254).run(
+        _sets([0], [299]), zero_activation(chain), k=1
+    )
+    assert (150, 150) in result.central_nodes
+    matrix = result.state.matrix
+    finite = matrix[matrix != INFINITE_LEVEL]
+    assert finite.max() <= 254
+
+
+def test_peak_state_bytes_reported(chain5):
+    result = BottomUpSearch(chain5).run(
+        _sets([0], [4]), zero_activation(chain5), k=1
+    )
+    assert result.peak_state_nbytes >= result.state.matrix.nbytes

@@ -1,0 +1,111 @@
+"""GraphBuilder semantics."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder, graph_from_triples
+
+
+def test_add_node_returns_sequential_ids():
+    builder = GraphBuilder()
+    assert builder.add_node("a") == 0
+    assert builder.add_node("b") == 1
+    assert builder.n_nodes == 2
+
+
+def test_keyed_nodes_deduplicate():
+    builder = GraphBuilder()
+    first = builder.add_node("SQL", key="Q1")
+    second = builder.add_node("ignored", key="Q1")
+    assert first == second
+    assert builder.n_nodes == 1
+    assert builder.node_id_for_key("Q1") == first
+
+
+def test_node_id_for_unknown_key_raises():
+    with pytest.raises(KeyError):
+        GraphBuilder().node_id_for_key("nope")
+
+
+def test_add_edge_interns_predicates():
+    builder = GraphBuilder()
+    a = builder.add_node("a")
+    b = builder.add_node("b")
+    builder.add_edge(a, b, "instance of")
+    builder.add_edge(b, a, "instance of")
+    graph = builder.build()
+    assert len(graph.predicates) == 1
+
+
+def test_add_edge_accepts_predicate_id():
+    builder = GraphBuilder()
+    pid = builder.add_predicate("cites")
+    a = builder.add_node("a")
+    b = builder.add_node("b")
+    builder.add_edge(a, b, pid)
+    graph = builder.build()
+    assert graph.predicate_name(0) == "cites"
+
+
+def test_add_edge_rejects_unknown_predicate_id():
+    builder = GraphBuilder()
+    a = builder.add_node("a")
+    b = builder.add_node("b")
+    with pytest.raises(ValueError):
+        builder.add_edge(a, b, 5)
+
+
+def test_self_loops_rejected():
+    builder = GraphBuilder()
+    a = builder.add_node("a")
+    with pytest.raises(ValueError):
+        builder.add_edge(a, a, "p")
+
+
+def test_dangling_endpoint_rejected():
+    builder = GraphBuilder()
+    a = builder.add_node("a")
+    with pytest.raises(ValueError):
+        builder.add_edge(a, 7, "p")
+
+
+def test_duplicate_edges_deduplicated_by_default():
+    builder = GraphBuilder()
+    a = builder.add_node("a")
+    b = builder.add_node("b")
+    builder.add_edge(a, b, "p")
+    builder.add_edge(a, b, "p")
+    assert builder.build().n_edges == 1
+    # Different predicate is a different triple.
+    builder.add_edge(a, b, "q")
+    assert builder.build().n_edges == 2
+
+
+def test_duplicates_kept_when_requested():
+    builder = GraphBuilder()
+    a = builder.add_node("a")
+    b = builder.add_node("b")
+    builder.add_edge(a, b, "p")
+    builder.add_edge(a, b, "p")
+    assert builder.build(deduplicate=False).n_edges == 2
+
+
+def test_graph_from_triples():
+    graph = graph_from_triples(
+        [
+            ("sql", "instance of", "query language"),
+            ("sparql", "instance of", "query language"),
+            ("sparql", "used with", "rdf"),
+        ],
+        node_text={"sql": "SQL standard"},
+    )
+    assert graph.n_nodes == 4
+    assert graph.n_edges == 3
+    assert "SQL standard" in graph.node_text
+    # Objects fall back to the key as text.
+    assert "query language" in graph.node_text
+
+
+def test_empty_builder_builds_empty_graph():
+    graph = GraphBuilder().build()
+    assert graph.n_nodes == 0
+    assert graph.n_edges == 0

@@ -1,0 +1,83 @@
+"""CentralGraph answer object invariants."""
+
+import pytest
+
+from repro.core.central_graph import CentralGraph, SearchAnswer
+
+
+def _graph():
+    return CentralGraph(
+        central_node=0,
+        depth=2,
+        nodes={0, 1, 2, 3},
+        edges={(1, 0), (2, 1), (3, 0)},
+        keyword_contributions={2: frozenset({0}), 3: frozenset({1})},
+    )
+
+
+def test_shape_accessors():
+    graph = _graph()
+    assert graph.n_nodes == 4
+    assert graph.n_edges == 3
+    assert graph.keyword_nodes() == [2, 3]
+    assert graph.covered_keywords() == frozenset({0, 1})
+    assert graph.covers_all(2)
+    assert not graph.covers_all(3)
+
+
+def test_successors_predecessors():
+    graph = _graph()
+    assert graph.successors()[2] == [1]
+    assert sorted(graph.predecessors()[0]) == [1, 3]
+
+
+def test_all_nodes_reach_central():
+    graph = _graph()
+    assert graph.all_nodes_reach_central()
+    graph.nodes.add(9)
+    assert not graph.all_nodes_reach_central()
+
+
+def test_contains_is_strict():
+    big = _graph()
+    small = CentralGraph(0, 1, {0, 1}, {(1, 0)}, {})
+    assert big.contains(small)
+    assert not small.contains(big)
+    assert not big.contains(big)
+
+
+def test_restricted_to():
+    graph = _graph()
+    pruned = graph.restricted_to({0, 1, 2})
+    assert pruned.nodes == {0, 1, 2}
+    assert pruned.edges == {(1, 0), (2, 1)}
+    assert pruned.keyword_contributions == {2: frozenset({0})}
+    assert pruned.pruned
+
+
+def test_restricted_to_must_keep_central():
+    with pytest.raises(ValueError):
+        _graph().restricted_to({1, 2})
+
+
+def test_describe_mentions_central_and_keywords():
+    text = _graph().describe(["zero", "one", "two", "three"])
+    assert "CENTRAL" in text
+    assert "'zero'" in text
+    assert "keywords=0" in text
+
+
+def test_to_networkx_roundtrip():
+    nx_graph = _graph().to_networkx()
+    assert nx_graph.number_of_nodes() == 4
+    assert nx_graph.number_of_edges() == 3
+    assert nx_graph.nodes[0]["central"]
+    assert nx_graph.nodes[2]["keywords"] == [0]
+
+
+def test_search_answer_coverage():
+    answer = SearchAnswer(graph=_graph(), keywords=("xml", "rdf"))
+    coverage = answer.keyword_text_coverage()
+    assert coverage == {"xml": [2], "rdf": [3]}
+    answer.graph.score = 1.5
+    assert answer.score == 1.5

@@ -1,0 +1,32 @@
+"""Execute the runnable examples embedded in docstrings.
+
+Several modules carry ``>>>`` examples; these must stay correct as the
+code evolves, so they run as part of the suite.
+"""
+
+import doctest
+
+import pytest
+
+import repro.graph.builder
+import repro.graph.labels
+import repro.text.query_parser
+import repro.text.stemmer
+import repro.text.tokenizer
+
+_MODULES = [
+    repro.graph.builder,
+    repro.graph.labels,
+    repro.text.query_parser,
+    repro.text.stemmer,
+    repro.text.tokenizer,
+]
+
+
+@pytest.mark.parametrize(
+    "module", _MODULES, ids=[m.__name__ for m in _MODULES]
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} failed"
+    assert results.attempted > 0, f"{module.__name__} has no doctests"

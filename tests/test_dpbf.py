@@ -1,0 +1,139 @@
+"""Exact DPBF group Steiner tree solver (test oracle)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines.dpbf import dpbf_optimal_cost, dpbf_search
+from repro.graph.algorithms import bfs_levels
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import chain_graph, grid_graph, random_graph
+
+
+def _sets(*groups):
+    return [np.array(g, dtype=np.int64) for g in groups]
+
+
+def test_chain_two_groups():
+    chain = chain_graph(5)
+    tree = dpbf_search(chain, _sets([0], [4]))
+    assert tree is not None
+    assert tree.cost == 4
+    assert tree.nodes == {0, 1, 2, 3, 4}
+
+
+def test_single_group_cost_zero():
+    chain = chain_graph(4)
+    tree = dpbf_search(chain, _sets([2]))
+    assert tree.cost == 0
+    assert tree.nodes == {2}
+
+
+def test_shared_node_covers_two_groups():
+    chain = chain_graph(4)
+    assert dpbf_optimal_cost(chain, _sets([1], [1])) == 0
+
+
+def test_three_groups_star():
+    # Star: center 0, leaves 1..4 — the optimal tree for three leaves
+    # uses the center, cost 3.
+    builder = GraphBuilder()
+    builder.add_node("center")
+    for i in range(4):
+        leaf = builder.add_node(f"leaf{i}")
+        builder.add_edge(0, leaf, "p")
+    graph = builder.build()
+    assert dpbf_optimal_cost(graph, _sets([1], [2], [3])) == 3
+
+
+def test_group_picks_cheapest_member():
+    chain = chain_graph(6)
+    # Group 2 may be satisfied by node 1 (near 0) or node 5 (far).
+    cost = dpbf_optimal_cost(chain, _sets([0], [1, 5]))
+    assert cost == 1
+
+
+def test_disconnected_returns_none():
+    builder = GraphBuilder()
+    for i in range(4):
+        builder.add_node(str(i))
+    builder.add_edge(0, 1, "p")
+    builder.add_edge(2, 3, "p")
+    graph = builder.build()
+    assert dpbf_optimal_cost(graph, _sets([0], [3])) is None
+
+
+def test_rejects_bad_inputs(chain5):
+    with pytest.raises(ValueError):
+        dpbf_optimal_cost(chain5, [])
+    with pytest.raises(ValueError):
+        dpbf_optimal_cost(chain5, _sets([0], []))
+    with pytest.raises(ValueError):
+        dpbf_optimal_cost(chain5, _sets(*[[0]] * 12))
+
+
+def _brute_force_gst_cost(graph, groups):
+    """Enumerate connecting subtrees by brute force (tiny graphs only)."""
+    n = graph.n_nodes
+    best = None
+    nodes = list(range(n))
+    for size in range(1, n + 1):
+        for subset in itertools.combinations(nodes, size):
+            subset_set = set(subset)
+            if not all(any(g in subset_set for g in group) for group in groups):
+                continue
+            # Connected check via BFS restricted to the subset.
+            start = subset[0]
+            seen = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for neighbor in graph.neighbors(node):
+                    neighbor = int(neighbor)
+                    if neighbor in subset_set and neighbor not in seen:
+                        seen.add(neighbor)
+                        stack.append(neighbor)
+            if seen != subset_set:
+                continue
+            cost = size - 1  # a tree over `size` nodes has size-1 edges
+            if best is None or cost < best:
+                best = cost
+        if best is not None and best == size - 1:
+            # Costs only grow with subset size: safe to stop early.
+            break
+    return best
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_dpbf_matches_brute_force(seed):
+    graph = random_graph(8, 14, seed=seed)
+    rng = np.random.default_rng(seed)
+    groups = []
+    for _ in range(int(rng.integers(2, 4))):
+        size = int(rng.integers(1, 3))
+        groups.append(np.unique(rng.integers(0, 8, size=size)))
+    expected = _brute_force_gst_cost(graph, [set(map(int, g)) for g in groups])
+    actual = dpbf_optimal_cost(graph, groups)
+    assert actual == expected
+
+
+def test_tree_edges_form_connected_cover():
+    grid = grid_graph(3, 3)
+    tree = dpbf_search(grid, _sets([0], [8], [2]))
+    assert tree is not None
+    # The edge set connects all terminals.
+    adjacency = {}
+    for u, v in tree.edges:
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+    seen = {tree.root}
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        for neighbor in adjacency.get(node, ()):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    assert {0, 8, 2} <= seen
+    assert len(tree.edges) == tree.cost

@@ -1,0 +1,147 @@
+"""End-to-end KeywordSearchEngine behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    EmptyQueryError,
+    EngineConfig,
+    KeywordSearchEngine,
+)
+from repro.parallel import SequentialBackend, VectorizedBackend
+
+from conftest import zero_activation
+
+
+@pytest.fixture(scope="module")
+def engine(request):
+    tiny_kb = request.getfixturevalue("tiny_kb")
+    graph, _ = tiny_kb
+    return KeywordSearchEngine(graph, backend=VectorizedBackend())
+
+
+def test_fig1_end_to_end(fig1):
+    engine = KeywordSearchEngine(fig1.graph, backend=SequentialBackend())
+    result = engine.search(
+        "xml rdf sql", k=1, activation_override=fig1.activation
+    )
+    assert result.keywords == ("xml", "rdf", "sql")
+    assert result.depth == fig1.expected_depth
+    top = result.answers[0].graph
+    assert top.central_node == fig1.central_node
+    assert 9 in top.nodes and 4 in top.nodes and 5 in top.nodes
+
+
+def test_unknown_terms_dropped(engine):
+    result = engine.search("database xyzzyplugh", k=3)
+    assert "xyzzyplugh" in result.dropped_terms
+    assert result.keywords == ("databas",)
+
+
+def test_all_terms_unknown_raises(engine):
+    with pytest.raises(EmptyQueryError):
+        engine.search("qqqq zzzz")
+
+
+def test_empty_query_raises(engine):
+    with pytest.raises(EmptyQueryError):
+        engine.search("the of and")  # all stopwords
+
+
+def test_k_limits_answer_count(engine):
+    result = engine.search("machine learning data", k=4)
+    assert len(result.answers) <= 4
+    assert len(result) == len(result.answers)
+
+
+def test_answers_sorted_by_score(engine):
+    result = engine.search("knowledge graph query", k=10)
+    scores = [answer.score for answer in result.answers]
+    assert scores == sorted(scores)
+
+
+def test_every_answer_covers_all_keywords(engine):
+    result = engine.search("machine learning translation", k=10)
+    q = len(result.keywords)
+    for answer in result.answers:
+        assert answer.graph.covers_all(q)
+        assert answer.graph.all_nodes_reach_central()
+
+
+def test_search_terms_equivalent_to_search(engine):
+    a = engine.search("knowledge base sparql", k=5)
+    b = engine.search_terms(["knowledge", "base", "sparql"], k=5)
+    assert [x.graph.central_node for x in a.answers] == [
+        x.graph.central_node for x in b.answers
+    ]
+
+
+def test_alpha_cache_reused(engine):
+    first = engine.activation_for(0.1)
+    second = engine.activation_for(0.1)
+    assert first is second
+    other = engine.activation_for(0.4)
+    assert other is not first
+    assert (other <= first).all()
+
+
+def test_duplicate_terms_collapse(engine):
+    result = engine.search("learning learning learning", k=2)
+    assert result.keywords == ("learn",)
+
+
+def test_timer_has_all_phases(engine):
+    result = engine.search("graph database", k=3)
+    ms = result.milliseconds()
+    for phase in (
+        "initialization",
+        "enqueuing_frontiers",
+        "identifying_central_nodes",
+        "expansion",
+        "top_down_processing",
+        "total",
+    ):
+        assert phase in ms
+    assert ms["total"] >= ms["expansion"]
+
+
+def test_storage_report_scales_with_knum(engine):
+    small = engine.storage_report(knum=2)
+    large = engine.storage_report(knum=10)
+    assert small.pre_storage == large.pre_storage
+    assert large.max_running_storage > small.max_running_storage
+    assert large.overhead_ratio > 1.0
+    mb = large.as_megabytes()
+    assert mb["pre_storage_mb"] > 0
+
+
+def test_weights_length_validated(tiny_graph):
+    with pytest.raises(ValueError):
+        KeywordSearchEngine(
+            tiny_graph, weights=np.zeros(3), average_distance=3.0
+        )
+
+
+def test_engine_accepts_precomputed_artifacts(tiny_kb):
+    graph, _ = tiny_kb
+    base = KeywordSearchEngine(graph)
+    clone = KeywordSearchEngine(
+        graph,
+        index=base.index,
+        weights=base.weights,
+        average_distance=base.average_distance,
+    )
+    a = base.search("machine learning", k=3)
+    b = clone.search("machine learning", k=3)
+    assert [x.graph.central_node for x in a.answers] == [
+        x.graph.central_node for x in b.answers
+    ]
+
+
+def test_config_defaults_applied(tiny_kb):
+    graph, _ = tiny_kb
+    engine = KeywordSearchEngine(
+        graph, config=EngineConfig(topk=2, alpha=0.4)
+    )
+    result = engine.search("machine learning data")
+    assert len(result.answers) <= 2

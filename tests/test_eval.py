@@ -1,0 +1,191 @@
+"""Evaluation harness: precision math, relevance judge, workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.precision import (
+    PrecisionRow,
+    mean_precision,
+    precision_rows,
+    top_k_precision,
+)
+from repro.eval.queries import (
+    CannedQuery,
+    KeywordWorkload,
+    canned_queries,
+    canned_query_phrases,
+    keyword_frequency_row,
+)
+from repro.eval.relevance import PhraseCoOccurrenceJudge
+from repro.graph.builder import GraphBuilder
+from repro.text.inverted_index import InvertedIndex
+
+
+# ---------------------------------------------------------------------------
+# Precision
+# ---------------------------------------------------------------------------
+def test_top_k_precision_basic():
+    flags = [True, False, True, True]
+    assert top_k_precision(flags, 2) == 0.5
+    assert top_k_precision(flags, 4) == 0.75
+
+
+def test_top_k_precision_short_list_divides_by_returned():
+    assert top_k_precision([True, True], 10) == 1.0
+    assert top_k_precision([], 10) == 0.0
+
+
+def test_top_k_precision_validates_k():
+    with pytest.raises(ValueError):
+        top_k_precision([True], 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(flags=st.lists(st.booleans(), max_size=30), k=st.integers(1, 25))
+def test_precision_in_unit_interval(flags, k):
+    value = top_k_precision(flags, k)
+    assert 0.0 <= value <= 1.0
+
+
+def test_precision_rows_and_mean():
+    row = precision_rows("Q1", "m", [True, False], cutoffs=(1, 2))
+    assert row.precision_at == {1: 1.0, 2: 0.5}
+    rows = [row, PrecisionRow("Q2", "m", {1: 0.0, 2: 0.5})]
+    assert mean_precision(rows, 1) == 0.5
+    assert mean_precision(rows, 2) == 0.5
+    assert mean_precision([], 1) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Canned queries
+# ---------------------------------------------------------------------------
+def test_canned_queries_cover_q1_to_q11():
+    queries = canned_queries()
+    assert [q.query_id for q in queries] == [f"Q{i}" for i in range(1, 12)]
+    for query in queries:
+        assert query.phrases
+        assert query.text
+        assert query.keywords()
+
+
+def test_canned_phrases_mapping_matches():
+    phrases = canned_query_phrases()
+    assert phrases["Q6"] == (
+        "supervised learning", "gradient descent", "machine translation"
+    )
+
+
+def test_keyword_frequency_row(tiny_graph):
+    index = InvertedIndex.from_graph(tiny_graph)
+    row = keyword_frequency_row(canned_queries()[0], index)
+    assert row["query_id"] == "Q1"
+    assert row["avg_keyword_frequency"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Relevance judge
+# ---------------------------------------------------------------------------
+def _phrase_graph():
+    builder = GraphBuilder()
+    texts = [
+        "supervised learning advances",   # coherent phrase node
+        "supervised methods",              # split word 1
+        "learning curves",                 # split word 2
+        "gradient descent tricks",         # second phrase node
+    ]
+    for text in texts:
+        builder.add_node(text)
+    builder.add_edge(0, 1, "p")
+    builder.add_edge(1, 2, "p")
+    builder.add_edge(2, 3, "p")
+    return builder.build()
+
+
+def test_judge_accepts_phrase_coherent_answers():
+    graph = _phrase_graph()
+    judge = PhraseCoOccurrenceJudge(graph)
+    query = CannedQuery("QX", ("supervised learning", "gradient descent"))
+    assert judge.is_relevant({0, 3}, query)
+
+
+def test_judge_rejects_split_phrase_answers():
+    graph = _phrase_graph()
+    judge = PhraseCoOccurrenceJudge(graph)
+    query = CannedQuery("QX", ("supervised learning", "gradient descent"))
+    # Words covered, but "supervised" and "learning" come from different
+    # nodes: the paper's irrelevance criterion.
+    assert not judge.is_relevant({1, 2, 3}, query)
+
+
+def test_judge_single_word_phrases_trivially_cooccur():
+    graph = _phrase_graph()
+    judge = PhraseCoOccurrenceJudge(graph)
+    query = CannedQuery("QX", ("gradient",))
+    assert judge.is_relevant({3}, query)
+    assert not judge.is_relevant({0}, query)
+
+
+def test_judge_node_terms_cached_and_stemmed():
+    graph = _phrase_graph()
+    judge = PhraseCoOccurrenceJudge(graph)
+    terms = judge.node_terms(0)
+    assert "supervis" in terms and "learn" in terms
+    assert judge.node_terms(0) is terms  # cached
+
+
+def test_judge_vectorized_over_answers():
+    graph = _phrase_graph()
+    judge = PhraseCoOccurrenceJudge(graph)
+    query = CannedQuery("QX", ("supervised learning",))
+    flags = judge.judge_node_sets([{0}, {1, 2}], query)
+    assert flags == [True, False]
+
+
+# ---------------------------------------------------------------------------
+# Workload sampler
+# ---------------------------------------------------------------------------
+def test_workload_samples_distinct_terms(tiny_graph):
+    index = InvertedIndex.from_graph(tiny_graph)
+    workload = KeywordWorkload(index, seed=1)
+    query = workload.sample_query(6)
+    terms = query.split()
+    assert len(terms) == 6
+    assert len(set(terms)) == 6
+
+
+def test_workload_deterministic(tiny_graph):
+    index = InvertedIndex.from_graph(tiny_graph)
+    a = KeywordWorkload(index, seed=5).sample_queries(4, 3)
+    b = KeywordWorkload(index, seed=5).sample_queries(4, 3)
+    assert a == b
+
+
+def test_workload_respects_frequency_bounds(tiny_graph):
+    index = InvertedIndex.from_graph(tiny_graph)
+    workload = KeywordWorkload(index, min_frequency=5, seed=0)
+    for term in workload.eligible_terms:
+        assert len(index.nodes_for_normalized_term(term)) >= 5
+
+
+def test_workload_terms_stable_under_pipeline(tiny_graph):
+    """Porter stems are not idempotent; only stable terms are sampled."""
+    index = InvertedIndex.from_graph(tiny_graph)
+    workload = KeywordWorkload(index, seed=0)
+    for term in workload.eligible_terms:
+        assert index.tokenizer.tokenize(term) == [term]
+
+
+def test_workload_rejects_impossible_bounds(tiny_graph):
+    index = InvertedIndex.from_graph(tiny_graph)
+    with pytest.raises(ValueError):
+        KeywordWorkload(index, min_frequency=10**9)
+
+
+def test_workload_queries_resolve_in_index(tiny_graph):
+    index = InvertedIndex.from_graph(tiny_graph)
+    workload = KeywordWorkload(index, seed=2)
+    for query in workload.sample_queries(5, 5):
+        pairs = index.query_node_sets(query)
+        assert all(len(nodes) > 0 for _, nodes in pairs)

@@ -1,0 +1,145 @@
+"""Synthetic KB generators and the Fig. 1 example."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    ROLE_CLASS,
+    ROLE_PAPER,
+    ROLE_TOPIC,
+    TOPIC_PHRASES,
+    WikiKBConfig,
+    chain_graph,
+    fig1_example,
+    grid_graph,
+    preferential_attachment_graph,
+    random_graph,
+    star_graph,
+    wiki2017_config,
+    wiki2018_config,
+    wiki_like_kb,
+)
+from repro.text.tokenizer import Tokenizer
+
+
+def test_chain_and_star_shapes():
+    assert chain_graph(5).n_edges == 4
+    star = star_graph(7)
+    assert star.n_nodes == 8
+    assert star.in_degree(0) == 7
+
+
+def test_grid_shape():
+    grid = grid_graph(3, 4)
+    assert grid.n_nodes == 12
+    assert grid.n_edges == 3 * 3 + 2 * 4  # east + south edges
+
+
+def test_random_graph_deterministic():
+    a = random_graph(15, 30, seed=9)
+    b = random_graph(15, 30, seed=9)
+    assert list(a.adj.indices) == list(b.adj.indices)
+
+
+def test_preferential_attachment_has_hub():
+    graph = preferential_attachment_graph(100, edges_per_node=2, seed=4)
+    degrees = graph.adj.degrees()
+    assert degrees.max() >= 10  # heavy tail
+
+
+def test_preferential_attachment_rejects_tiny():
+    with pytest.raises(ValueError):
+        preferential_attachment_graph(1)
+
+
+def test_wiki_kb_roles_cover_all_nodes(tiny_kb):
+    graph, meta = tiny_kb
+    assert len(meta.roles) == graph.n_nodes
+    assert meta.role_name(0) == "class"
+
+
+def test_wiki_kb_summary_hub_structure(tiny_kb):
+    graph, meta = tiny_kb
+    human = meta.class_nodes["human"]
+    counts = graph.in_label_counts(human)
+    # One dominant in-edge label with many edges: a summary node.
+    assert max(counts.values()) > 50
+    assert len(counts) <= 2
+
+
+def test_wiki_kb_topics_present(tiny_kb):
+    graph, meta = tiny_kb
+    assert set(meta.topic_nodes) == set(TOPIC_PHRASES)
+    topic = meta.topic_nodes["data mining"]
+    assert graph.node_text[topic] == "data mining"
+    assert meta.roles[topic] == ROLE_TOPIC
+
+
+def test_wiki_kb_gold_papers_contain_their_phrase(tiny_kb):
+    graph, meta = tiny_kb
+    tokenizer = Tokenizer()
+    assert meta.gold_papers, "gold papers must be planted"
+    for query_id, nodes in meta.gold_papers.items():
+        assert nodes
+        for node in nodes:
+            assert meta.roles[node] == ROLE_PAPER
+            # Every gold paper contains at least one full topic phrase.
+            terms = set(tokenizer.unique_terms(graph.node_text[node]))
+            assert any(
+                set(tokenizer.tokenize(phrase)) <= terms
+                for phrase in TOPIC_PHRASES
+            )
+
+
+def test_wiki_kb_decoys_do_not_contain_full_phrases(tiny_kb):
+    graph, meta = tiny_kb
+    tokenizer = Tokenizer()
+    multiword = [p for p in TOPIC_PHRASES if len(p.split()) > 1]
+    for node in meta.decoy_papers:
+        terms = set(tokenizer.unique_terms(graph.node_text[node]))
+        for phrase in multiword:
+            phrase_terms = set(tokenizer.tokenize(phrase))
+            assert not phrase_terms <= terms, (
+                f"decoy {graph.node_text[node]!r} contains {phrase!r}"
+            )
+
+
+def test_wiki_kb_connected_mostly(tiny_kb):
+    from repro.graph.algorithms import largest_component_nodes
+
+    graph, _ = tiny_kb
+    giant = largest_component_nodes(graph)
+    assert len(giant) > 0.95 * graph.n_nodes
+
+
+def test_wiki2018_larger_than_wiki2017():
+    small = wiki2017_config()
+    large = wiki2018_config()
+    assert large.n_papers > small.n_papers
+    assert large.name != small.name
+
+
+def test_wiki_kb_deterministic():
+    config = WikiKBConfig(name="det", seed=5, n_papers=60, n_people=20,
+                          n_misc=20, n_venues=4, n_orgs=4,
+                          gold_papers_per_query=1, decoy_papers_per_phrase=1)
+    g1, m1 = wiki_like_kb(config)
+    g2, m2 = wiki_like_kb(config)
+    assert g1.n_nodes == g2.n_nodes
+    assert g1.n_edges == g2.n_edges
+    assert g1.node_text == g2.node_text
+    assert m1.gold_papers == m2.gold_papers
+
+
+def test_fig1_example_structure():
+    example = fig1_example()
+    graph = example.graph
+    assert graph.n_nodes == 10
+    assert example.central_node == 2
+    # Keyword source sets match the node texts.
+    for keyword, sources in zip(example.keywords, example.keyword_nodes):
+        for node in sources:
+            assert keyword.lower() in graph.node_text[node].lower()
+    # v9 has four distinct hitting paths toward v2 (via 3, 6, 7, 8).
+    v9_neighbors = set(int(n) for n in graph.neighbors(9))
+    assert {3, 6, 7, 8} <= v9_neighbors

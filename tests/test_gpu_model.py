@@ -1,0 +1,52 @@
+"""GPU transfer/memory cost model."""
+
+import pytest
+
+from repro.bench.gpu_model import (
+    GTX_1080TI_GLOBAL_MEMORY_BYTES,
+    estimate_for_graph,
+    estimate_gpu_costs,
+    paper_example_transfer_ms,
+)
+
+
+def test_paper_worked_example():
+    """30M nodes × 10 keywords over 12 GB/s ≈ 25 ms (Section V-B)."""
+    assert paper_example_transfer_ms() == pytest.approx(25.0, abs=0.5)
+
+
+def test_matrix_is_one_byte_per_cell():
+    estimate = estimate_gpu_costs(1000, 7, pre_storage_bytes=0)
+    assert estimate.matrix_bytes == 7000
+    assert estimate.total_device_bytes == 7000 + 2000
+
+
+def test_transfer_scales_linearly():
+    small = estimate_gpu_costs(10_000, 4, 0)
+    large = estimate_gpu_costs(20_000, 4, 0)
+    assert large.transfer_seconds == pytest.approx(2 * small.transfer_seconds)
+
+
+def test_fits_flag():
+    fits = estimate_gpu_costs(1_000_000, 8, pre_storage_bytes=10**9)
+    assert fits.fits_on_gtx1080ti
+    too_big = estimate_gpu_costs(
+        1_000_000, 8, pre_storage_bytes=GTX_1080TI_GLOBAL_MEMORY_BYTES
+    )
+    assert not too_big.fits_on_gtx1080ti
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        estimate_gpu_costs(0, 1, 0)
+    with pytest.raises(ValueError):
+        estimate_gpu_costs(1, 0, 0)
+    with pytest.raises(ValueError):
+        estimate_gpu_costs(1, 1, 0, pcie_bandwidth=0)
+
+
+def test_estimate_for_graph(tiny_graph):
+    estimate = estimate_for_graph(tiny_graph, n_keywords=6)
+    assert estimate.matrix_bytes == tiny_graph.n_nodes * 6
+    assert estimate.pre_storage_bytes > tiny_graph.storage_nbytes()
+    assert estimate.fits_on_gtx1080ti

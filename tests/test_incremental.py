@@ -1,0 +1,95 @@
+"""Incremental graph and index growth."""
+
+import numpy as np
+import pytest
+
+from repro import KeywordSearchEngine, graph_from_triples
+from repro.graph.builder import GraphBuilder
+from repro.text.inverted_index import InvertedIndex
+
+
+def _base_graph():
+    return graph_from_triples(
+        [
+            ("sql", "instance of", "query language"),
+            ("sparql", "instance of", "query language"),
+        ]
+    )
+
+
+def test_from_graph_preserves_everything():
+    graph = _base_graph()
+    rebuilt = GraphBuilder.from_graph(graph).build()
+    assert rebuilt.n_nodes == graph.n_nodes
+    assert rebuilt.n_edges == graph.n_edges
+    assert rebuilt.node_text == graph.node_text
+    assert rebuilt.predicates.to_list() == graph.predicates.to_list()
+    assert np.array_equal(rebuilt.adj.indices, graph.adj.indices)
+
+
+def test_from_graph_appends_with_stable_ids():
+    graph = _base_graph()
+    builder = GraphBuilder.from_graph(graph)
+    new_node = builder.add_node("graphql api")
+    assert new_node == graph.n_nodes  # appended, never renumbered
+    builder.add_edge(new_node, 1, "instance of")
+    grown = builder.build()
+    assert grown.n_nodes == graph.n_nodes + 1
+    assert grown.n_edges == graph.n_edges + 1
+    # Old node text unchanged at the same ids.
+    for node in range(graph.n_nodes):
+        assert grown.node_text[node] == graph.node_text[node]
+
+
+def test_index_extend_matches_full_rebuild():
+    graph = _base_graph()
+    index = InvertedIndex.from_graph(graph)
+    new_texts = ["graphql api", "another sql dialect"]
+    first_id = index.extend(new_texts)
+    assert first_id == graph.n_nodes
+
+    rebuilt = InvertedIndex()
+    rebuilt.build(list(graph.node_text) + new_texts)
+    assert index.n_nodes == rebuilt.n_nodes
+    assert set(index.terms) == set(rebuilt.terms)
+    for term in rebuilt.terms:
+        assert np.array_equal(
+            index.nodes_for_normalized_term(term),
+            rebuilt.nodes_for_normalized_term(term),
+        )
+
+
+def test_extend_keeps_postings_sorted():
+    index = InvertedIndex()
+    index.build(["alpha", "beta"])
+    index.extend(["alpha again", "alpha thrice"])
+    postings = index.nodes_for_normalized_term("alpha")
+    assert list(postings) == sorted(postings)
+    assert list(postings) == [0, 2, 3]
+
+
+def test_incremental_update_end_to_end():
+    """Grow the KB, extend the index, and search for the new entity."""
+    graph = _base_graph()
+    index = InvertedIndex.from_graph(graph)
+
+    builder = GraphBuilder.from_graph(graph)
+    cypher = builder.add_node("cypher graph query syntax")
+    builder.add_edge(cypher, 1, "instance of")  # -> query language
+    grown = builder.build()
+    index.extend(["cypher graph query syntax"])
+
+    engine = KeywordSearchEngine(grown, index=index, average_distance=2.0)
+    result = engine.search("cypher sql", k=3)
+    assert result.answers
+    top_nodes = set().union(*(a.graph.nodes for a in result.answers))
+    assert cypher in top_nodes
+
+
+def test_extend_empty_is_noop():
+    index = InvertedIndex()
+    index.build(["alpha"])
+    before_terms = index.n_terms
+    index.extend([])
+    assert index.n_terms == before_terms
+    assert index.n_nodes == 1

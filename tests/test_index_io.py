@@ -1,0 +1,96 @@
+"""Inverted index persistence."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import random_graph
+from repro.text.index_io import load_index, save_index
+from repro.text.inverted_index import InvertedIndex
+from repro.text.tokenizer import Tokenizer, TokenizerConfig
+
+
+def test_roundtrip_preserves_postings(tmp_path, tiny_graph):
+    index = InvertedIndex.from_graph(tiny_graph)
+    path = str(tmp_path / "index.npz")
+    save_index(index, path)
+    loaded = load_index(path)
+    assert loaded.n_terms == index.n_terms
+    assert loaded.n_nodes == index.n_nodes
+    for term in list(index.terms)[:50]:
+        assert np.array_equal(
+            loaded.nodes_for_normalized_term(term),
+            index.nodes_for_normalized_term(term),
+        )
+
+
+def test_roundtrip_preserves_tokenizer_config(tmp_path):
+    graph = random_graph(8, 12, seed=0)
+    tokenizer = Tokenizer(TokenizerConfig(stem=False, min_length=3))
+    index = InvertedIndex.from_graph(graph, tokenizer)
+    path = str(tmp_path / "index.npz")
+    save_index(index, path)
+    loaded = load_index(path)
+    assert loaded.tokenizer.config == tokenizer.config
+
+
+def test_roundtrip_without_extension(tmp_path, tiny_graph):
+    index = InvertedIndex.from_graph(tiny_graph)
+    path = str(tmp_path / "index")
+    save_index(index, path)
+    loaded = load_index(path)
+    assert loaded.n_terms == index.n_terms
+
+
+def test_empty_index_roundtrip(tmp_path):
+    index = InvertedIndex()
+    index.build([])
+    path = str(tmp_path / "empty.npz")
+    save_index(index, path)
+    loaded = load_index(path)
+    assert loaded.n_terms == 0
+    assert loaded.n_nodes == 0
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_index(str(tmp_path / "missing.npz"))
+
+
+def test_bad_version_rejected(tmp_path, tiny_graph):
+    import json
+
+    index = InvertedIndex.from_graph(tiny_graph)
+    path = str(tmp_path / "index.npz")
+    save_index(index, path)
+    meta_path = str(tmp_path / "index.meta.json")
+    with open(meta_path) as handle:
+        meta = json.load(handle)
+    meta["version"] = 42
+    with open(meta_path, "w") as handle:
+        json.dump(meta, handle)
+    with pytest.raises(ValueError):
+        load_index(path)
+
+
+def test_from_parts_validates_alignment():
+    with pytest.raises(ValueError):
+        InvertedIndex.from_parts(
+            Tokenizer(), ["a", "b"], [np.array([0])], n_nodes=2
+        )
+
+
+def test_loaded_index_answers_queries(tmp_path, tiny_kb):
+    from repro import KeywordSearchEngine
+
+    graph, _ = tiny_kb
+    index = InvertedIndex.from_graph(graph)
+    path = str(tmp_path / "kb.index.npz")
+    save_index(index, path)
+    loaded = load_index(path)
+    a = KeywordSearchEngine(graph, index=index, average_distance=3.0)
+    b = KeywordSearchEngine(graph, index=loaded, average_distance=3.0)
+    ra = a.search("machine learning", k=3)
+    rb = b.search("machine learning", k=3)
+    assert [x.graph.central_node for x in ra.answers] == [
+        x.graph.central_node for x in rb.answers
+    ]

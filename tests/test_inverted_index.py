@@ -1,0 +1,102 @@
+"""Inverted keyword index."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.text.inverted_index import InvertedIndex
+from repro.text.tokenizer import Tokenizer, TokenizerConfig
+
+
+def _graph(texts):
+    builder = GraphBuilder()
+    for text in texts:
+        builder.add_node(text)
+    if len(texts) > 1:
+        builder.add_edge(0, 1, "p")
+    return builder.build()
+
+
+def test_basic_postings():
+    graph = _graph(["SQL database", "graph database", "SQL engine"])
+    index = InvertedIndex.from_graph(graph)
+    assert list(index.nodes_for_term("sql")) == [0, 2]
+    assert list(index.nodes_for_term("database")) == [0, 1]
+    assert list(index.nodes_for_term("engine")) == [2]
+
+
+def test_lookup_normalizes_terms():
+    graph = _graph(["relational databases", "other"])
+    index = InvertedIndex.from_graph(graph)
+    # Query-side inflection meets index-side stemming.
+    assert list(index.nodes_for_term("Relational")) == [0]
+    assert list(index.nodes_for_term("database")) == [0]
+
+
+def test_unknown_term_empty():
+    graph = _graph(["alpha beta", "gamma"])
+    index = InvertedIndex.from_graph(graph)
+    assert len(index.nodes_for_term("unknown")) == 0
+
+
+def test_stopword_only_term_empty():
+    graph = _graph(["the alpha"])
+    index = InvertedIndex.from_graph(graph)
+    assert len(index.nodes_for_term("the")) == 0
+
+
+def test_phrase_lookup_rejected():
+    graph = _graph(["alpha beta"])
+    index = InvertedIndex.from_graph(graph)
+    with pytest.raises(ValueError, match="phrase"):
+        index.nodes_for_term("alpha beta")
+
+
+def test_query_node_sets_deduplicates_terms():
+    graph = _graph(["alpha beta", "alpha gamma"])
+    index = InvertedIndex.from_graph(graph)
+    pairs = index.query_node_sets("alpha ALPHA beta")
+    terms = [term for term, _ in pairs]
+    assert terms == ["alpha", "beta"]
+    assert list(pairs[0][1]) == [0, 1]
+
+
+def test_query_node_sets_includes_empty_sets():
+    graph = _graph(["alpha"])
+    index = InvertedIndex.from_graph(graph)
+    pairs = index.query_node_sets("alpha missing")
+    assert len(pairs) == 2
+    assert len(pairs[1][1]) == 0
+
+
+def test_term_frequency_and_top_terms():
+    graph = _graph(["alpha beta", "alpha gamma", "alpha"])
+    index = InvertedIndex.from_graph(graph)
+    assert index.term_frequency("alpha") == 3
+    top = index.most_frequent_terms(1)
+    assert top[0][0] == "alpha"
+    assert top[0][1] == 3
+
+
+def test_postings_sorted_and_typed():
+    graph = _graph(["z alpha", "a alpha", "m alpha"])
+    index = InvertedIndex.from_graph(graph)
+    postings = index.nodes_for_term("alpha")
+    assert postings.dtype == np.int64
+    assert list(postings) == sorted(postings)
+
+
+def test_custom_tokenizer_respected():
+    graph = _graph(["Relational Databases"])
+    index = InvertedIndex.from_graph(
+        graph, Tokenizer(TokenizerConfig(stem=False))
+    )
+    assert list(index.nodes_for_term("databases")) == [0]
+    assert len(index.nodes_for_term("database")) == 0
+
+
+def test_nbytes_and_counts(tiny_graph):
+    index = InvertedIndex.from_graph(tiny_graph)
+    assert index.n_terms > 50
+    assert index.n_nodes == tiny_graph.n_nodes
+    assert index.nbytes() > 0

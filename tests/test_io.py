@@ -1,0 +1,109 @@
+"""Graph serialization and text-format loaders."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import random_graph
+from repro.graph.io import (
+    dataset_cache_path,
+    dump_tsv_triples,
+    load_graph,
+    load_tsv_triples,
+    save_graph,
+)
+
+
+def _graphs_equal(a, b):
+    assert a.n_nodes == b.n_nodes
+    assert a.n_edges == b.n_edges
+    assert a.node_text == b.node_text
+    assert a.predicates.to_list() == b.predicates.to_list()
+    assert np.array_equal(a.adj.indptr, b.adj.indptr)
+    assert np.array_equal(a.adj.indices, b.adj.indices)
+    assert np.array_equal(a.adj.labels, b.adj.labels)
+    assert np.array_equal(a.out.indices, b.out.indices)
+    assert np.array_equal(a.inc.indices, b.inc.indices)
+
+
+def test_npz_roundtrip(tmp_path, random20):
+    path = str(tmp_path / "graph.npz")
+    save_graph(random20, path)
+    _graphs_equal(random20, load_graph(path))
+
+
+def test_npz_roundtrip_without_extension(tmp_path, random20):
+    path = str(tmp_path / "graph")
+    save_graph(random20, path)
+    _graphs_equal(random20, load_graph(path))
+
+
+def test_load_missing_file_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_graph(str(tmp_path / "missing.npz"))
+
+
+def test_load_rejects_bad_version(tmp_path, random20):
+    import json
+
+    path = str(tmp_path / "graph.npz")
+    save_graph(random20, path)
+    meta_path = str(tmp_path / "graph.meta.json")
+    with open(meta_path) as handle:
+        meta = json.load(handle)
+    meta["version"] = 99
+    with open(meta_path, "w") as handle:
+        json.dump(meta, handle)
+    with pytest.raises(ValueError):
+        load_graph(path)
+
+
+def test_tsv_load():
+    import tempfile, os
+
+    content = (
+        "# comment line\n"
+        "q1\tinstance of\tq2\n"
+        "\n"
+        "q3\tcites\tq1\n"
+    )
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".tsv", delete=False
+    ) as handle:
+        handle.write(content)
+        path = handle.name
+    try:
+        graph = load_tsv_triples(path)
+        assert graph.n_nodes == 3
+        assert graph.n_edges == 2
+        assert "instance of" in graph.predicates
+    finally:
+        os.unlink(path)
+
+
+def test_tsv_malformed_line_reports_position(tmp_path):
+    path = tmp_path / "bad.tsv"
+    path.write_text("a\tb\tc\nbroken line without tabs\n")
+    with pytest.raises(ValueError, match=":2:"):
+        load_tsv_triples(str(path))
+
+
+def test_tsv_dump_and_reload(tmp_path):
+    graph = random_graph(10, 20, seed=5)
+    path = str(tmp_path / "dump.tsv")
+    count = dump_tsv_triples(graph, path)
+    assert count == graph.n_edges
+    reloaded = load_tsv_triples(path)
+    assert reloaded.n_edges == graph.n_edges
+    assert reloaded.n_nodes == len(
+        {n for s, t, _ in graph.edge_list() for n in (s, t)}
+    )
+
+
+def test_dataset_cache_path(tmp_path):
+    path, exists = dataset_cache_path(str(tmp_path / "cache"), "wiki")
+    assert not exists
+    assert path.endswith("wiki.npz")
+    graph = random_graph(5, 8, seed=1)
+    save_graph(graph, path)
+    _, exists_now = dataset_cache_path(str(tmp_path / "cache"), "wiki")
+    assert exists_now

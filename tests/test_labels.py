@@ -1,0 +1,65 @@
+"""Vocabulary interning."""
+
+import pytest
+
+from repro.graph.labels import Vocabulary
+
+
+def test_ids_are_dense_and_first_seen_order():
+    vocab = Vocabulary()
+    assert vocab.add("instance of") == 0
+    assert vocab.add("subclass of") == 1
+    assert vocab.add("cites") == 2
+    assert len(vocab) == 3
+
+
+def test_re_adding_returns_existing_id():
+    vocab = Vocabulary(["a", "b"])
+    assert vocab.add("a") == 0
+    assert vocab.add("b") == 1
+    assert len(vocab) == 2
+
+
+def test_lookup_both_directions():
+    vocab = Vocabulary(["author", "employer"])
+    assert vocab.id_of("employer") == 1
+    assert vocab[0] == "author"
+    assert "author" in vocab
+    assert "publisher" not in vocab
+
+
+def test_id_of_unknown_raises():
+    with pytest.raises(KeyError):
+        Vocabulary().id_of("missing")
+
+
+def test_get_with_default():
+    vocab = Vocabulary(["x"])
+    assert vocab.get("x") == 0
+    assert vocab.get("y") is None
+    assert vocab.get("y", -1) == -1
+
+
+def test_iteration_follows_id_order():
+    tokens = ["c", "a", "b"]
+    vocab = Vocabulary(tokens)
+    assert list(vocab) == tokens
+    assert vocab.tokens() == tokens
+
+
+def test_roundtrip_via_list():
+    vocab = Vocabulary(["p1", "p2", "p3"])
+    clone = Vocabulary.from_list(vocab.to_list())
+    assert clone.to_list() == vocab.to_list()
+    assert clone.id_of("p2") == 1
+
+
+def test_from_list_rejects_duplicates():
+    with pytest.raises(ValueError):
+        Vocabulary.from_list(["a", "b", "a"])
+
+
+def test_tokens_returns_copy():
+    vocab = Vocabulary(["a"])
+    vocab.tokens().append("b")
+    assert len(vocab) == 1

@@ -1,0 +1,95 @@
+"""r-clique baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rclique import RClique, RCliqueConfig
+from repro.graph.builder import GraphBuilder
+from repro.text.inverted_index import InvertedIndex
+
+
+def _keyword_graph():
+    """apple - m1 - m2 - banana, plus a far-away banana carrier."""
+    builder = GraphBuilder()
+    texts = ["apple here", "mid one", "mid two", "banana near",
+             "far", "farther", "banana far"]
+    for text in texts:
+        builder.add_node(text)
+    for i in range(3):
+        builder.add_edge(i, i + 1, "p")
+    builder.add_edge(3, 4, "p")
+    builder.add_edge(4, 5, "p")
+    builder.add_edge(5, 6, "p")
+    return builder.build()
+
+
+def _rclique(graph, r):
+    index = InvertedIndex.from_graph(graph)
+    return RClique(graph, index, RCliqueConfig(r=r))
+
+
+def test_finds_clique_when_r_allows():
+    graph = _keyword_graph()
+    # apple(0) and banana(3) are 3 hops apart; a center within r/2 of
+    # both exists for r >= 6 under the conservative center test... use 6.
+    result = _rclique(graph, r=6).search("apple banana", k=3)
+    assert result.answers
+    best = result.answers[0]
+    assert {0, 3} <= best.nodes
+
+
+def test_small_r_returns_nothing():
+    graph = _keyword_graph()
+    result = _rclique(graph, r=1).search("apple banana", k=3)
+    assert result.answers == []
+
+
+def test_larger_r_grows_candidate_set():
+    graph = _keyword_graph()
+    tight = _rclique(graph, r=2).n_feasible_centers("apple banana")
+    loose = _rclique(graph, r=12).n_feasible_centers("apple banana")
+    assert loose >= tight
+    assert loose > 0
+
+
+def test_trees_pick_nearest_carriers():
+    graph = _keyword_graph()
+    result = _rclique(graph, r=8).search("apple banana", k=1)
+    best = result.answers[0]
+    # The nearest banana carrier (node 3, not node 6) is chosen.
+    leaves = {best.leaf_of(column) for column in best.paths}
+    assert 6 not in leaves
+
+
+def test_same_clique_from_different_centers_deduplicated():
+    builder = GraphBuilder()
+    builder.add_node("apple banana")  # one node carries both keywords
+    builder.add_node("other")
+    builder.add_edge(0, 1, "p")
+    graph = builder.build()
+    result = _rclique(graph, r=4).search("apple banana", k=5)
+    assert len(result.answers) == 1
+    assert result.answers[0].score == 0.0
+
+
+def test_unmatched_query_raises():
+    graph = _keyword_graph()
+    with pytest.raises(ValueError):
+        _rclique(graph, r=4).search("zzz")
+
+
+def test_single_keyword_cliques_are_carriers():
+    graph = _keyword_graph()
+    result = _rclique(graph, r=2).search("banana", k=5)
+    roots = {answer.root for answer in result.answers}
+    assert roots == {3, 6}
+
+
+def test_answer_count_on_kb(tiny_graph):
+    index = InvertedIndex.from_graph(tiny_graph)
+    searcher = RClique(tiny_graph, index, RCliqueConfig(r=4))
+    result = searcher.search("machine learning data", k=10)
+    # On a well-connected KB a moderate r yields plenty of answers.
+    assert len(result.answers) == 10
+    scores = [answer.score for answer in result.answers]
+    assert scores == sorted(scores)

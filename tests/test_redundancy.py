@@ -1,0 +1,49 @@
+"""Answer redundancy metrics."""
+
+import pytest
+
+from repro.eval.redundancy import most_repeated_nodes, redundancy_stats
+
+
+def test_fully_diverse_answers():
+    stats = redundancy_stats([{1, 2}, {3, 4}, {5}])
+    assert stats.n_answers == 3
+    assert stats.max_node_repetition == 1
+    assert stats.mean_pairwise_jaccard == 0.0
+    assert stats.distinct_node_fraction == 1.0
+
+
+def test_identical_answers():
+    stats = redundancy_stats([{1, 2}, {1, 2}])
+    assert stats.max_node_repetition == 2
+    assert stats.mean_pairwise_jaccard == 1.0
+    assert stats.distinct_node_fraction == 0.5
+
+
+def test_paper_q11_style_repetition():
+    """One node appearing in 16 of 20 answers (the paper's diagnosis)."""
+    answers = [{99, i} for i in range(16)] + [{i, i + 100} for i in range(4)]
+    stats = redundancy_stats(answers)
+    assert stats.n_answers == 20
+    assert stats.max_node_repetition == 16
+    top = most_repeated_nodes(answers, k=1)
+    assert top[0] == (99, 16)
+
+
+def test_empty_and_single():
+    empty = redundancy_stats([])
+    assert empty.n_answers == 0
+    assert empty.distinct_node_fraction == 1.0
+    single = redundancy_stats([{1, 2, 3}])
+    assert single.mean_pairwise_jaccard == 0.0
+    assert single.max_node_repetition == 1
+
+
+def test_partial_overlap_jaccard():
+    stats = redundancy_stats([{1, 2}, {2, 3}])
+    assert stats.mean_pairwise_jaccard == pytest.approx(1 / 3)
+
+
+def test_empty_sets_skipped():
+    stats = redundancy_stats([set(), {1}])
+    assert stats.n_answers == 1

@@ -1,0 +1,58 @@
+"""Average-distance sampling (Table II's A and deviation)."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import chain_graph, star_graph
+from repro.graph.sampling import estimate_average_distance
+
+
+def test_star_graph_average_distance():
+    # In a large star, almost every sampled pair is leaf-leaf at distance 2.
+    star = star_graph(40)
+    estimate = estimate_average_distance(star, n_pairs=400, seed=1)
+    assert 1.7 <= estimate.average <= 2.0
+    assert estimate.n_sampled > 0
+    assert estimate.rounded() == 2
+
+
+def test_chain_average_within_bounds():
+    chain = chain_graph(10)
+    estimate = estimate_average_distance(chain, n_pairs=500, seed=2)
+    # Expected average pair distance of a 10-path is (n+1)/3 ≈ 3.67.
+    assert 2.5 <= estimate.average <= 5.0
+    assert estimate.deviation > 0
+
+
+def test_deterministic_given_seed(tiny_graph):
+    a = estimate_average_distance(tiny_graph, n_pairs=200, seed=7)
+    b = estimate_average_distance(tiny_graph, n_pairs=200, seed=7)
+    assert a == b
+
+
+def test_different_seeds_differ_slightly(tiny_graph):
+    a = estimate_average_distance(tiny_graph, n_pairs=200, seed=1)
+    b = estimate_average_distance(tiny_graph, n_pairs=200, seed=2)
+    # Estimates agree roughly but the samples differ.
+    assert abs(a.average - b.average) < 1.0
+
+
+def test_requires_two_nodes():
+    builder = GraphBuilder()
+    builder.add_node("only")
+    with pytest.raises(ValueError):
+        estimate_average_distance(builder.build(), n_pairs=10)
+
+
+def test_disconnected_graph_restricted_to_giant_component():
+    builder = GraphBuilder()
+    for i in range(6):
+        builder.add_node(str(i))
+    for i in range(4):
+        builder.add_edge(i, i + 1, "p")  # path of 5 nodes + 1 isolate
+    graph = builder.build()
+    estimate = estimate_average_distance(
+        graph, n_pairs=100, seed=0, restrict_to_largest_component=True
+    )
+    assert estimate.n_sampled > 0
+    assert estimate.average > 0

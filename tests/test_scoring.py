@@ -1,0 +1,126 @@
+"""Eq. 6 scoring and the top-k heap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.central_graph import CentralGraph
+from repro.core.scoring import TopKHeap, central_graph_score
+
+
+def _graph(nodes, depth=2, central=None):
+    nodes = set(nodes)
+    central = central if central is not None else min(nodes)
+    return CentralGraph(
+        central_node=central,
+        depth=depth,
+        nodes=nodes,
+        edges=set(),
+        keyword_contributions={},
+    )
+
+
+def test_score_hand_computed():
+    weights = np.array([0.1, 0.2, 0.3, 0.4])
+    graph = _graph({0, 2}, depth=4)
+    # 4^0.2 * (0.1 + 0.3)
+    assert central_graph_score(graph, weights, lam=0.2) == pytest.approx(
+        4 ** 0.2 * 0.4
+    )
+
+
+def test_lambda_zero_ignores_depth():
+    weights = np.array([0.5, 0.5])
+    shallow = _graph({0}, depth=1)
+    deep = _graph({0}, depth=9)
+    assert central_graph_score(shallow, weights, 0.0) == central_graph_score(
+        deep, weights, 0.0
+    )
+
+
+def test_depth_zero_scores_zero():
+    weights = np.array([0.9])
+    graph = _graph({0}, depth=0)
+    assert central_graph_score(graph, weights, 0.2) == 0.0
+
+
+def test_negative_lambda_rejected():
+    with pytest.raises(ValueError):
+        central_graph_score(_graph({0}), np.array([1.0]), lam=-0.1)
+
+
+def test_larger_lambda_penalizes_depth_more():
+    weights = np.ones(3)
+    deep = _graph({0, 1}, depth=8)
+    assert central_graph_score(deep, weights, 0.5) > central_graph_score(
+        deep, weights, 0.2
+    )
+
+
+def test_topk_heap_keeps_lowest_scores():
+    heap = TopKHeap(2)
+    for score, node in [(5.0, 0), (1.0, 1), (3.0, 2), (0.5, 3)]:
+        graph = _graph({node}, central=node)
+        graph.score = score
+        heap.offer(graph)
+    ranked = heap.ranked()
+    assert [g.score for g in ranked] == [0.5, 1.0]
+    assert len(heap) == 2
+
+
+def test_topk_heap_offer_reports_acceptance():
+    heap = TopKHeap(1)
+    good = _graph({0})
+    good.score = 1.0
+    bad = _graph({1}, central=1)
+    bad.score = 2.0
+    assert heap.offer(good)
+    assert not heap.offer(bad)
+    better = _graph({2}, central=2)
+    better.score = 0.1
+    assert heap.offer(better)
+    assert heap.ranked()[0].score == 0.1
+
+
+def test_topk_heap_worst_kept_score():
+    heap = TopKHeap(2)
+    assert heap.worst_kept_score() is None
+    for score in (3.0, 1.0):
+        graph = _graph({int(score)})
+        graph.score = score
+        heap.offer(graph)
+    assert heap.worst_kept_score() == 3.0
+
+
+def test_topk_heap_rejects_bad_k():
+    with pytest.raises(ValueError):
+        TopKHeap(0)
+
+
+def test_topk_deterministic_tiebreak():
+    heap = TopKHeap(2)
+    graphs = []
+    for node in (5, 1, 3):
+        graph = _graph({node}, central=node)
+        graph.score = 1.0
+        graphs.append(graph)
+        heap.offer(graph)
+    ranked = heap.ranked()
+    # Equal scores and sizes: lowest central node id wins.
+    assert [g.central_node for g in ranked] == [1, 3]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    scores=st.lists(st.floats(0, 100), min_size=1, max_size=30),
+    k=st.integers(1, 10),
+)
+def test_topk_heap_equals_sorted_prefix(scores, k):
+    heap = TopKHeap(k)
+    for index, score in enumerate(scores):
+        graph = _graph({index}, central=index)
+        graph.score = score
+        heap.offer(graph)
+    ranked = [g.score for g in heap.ranked()]
+    assert ranked == sorted(scores)[: min(k, len(scores))]

@@ -1,0 +1,127 @@
+"""The WikiSearch-style HTTP service."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.parallel import VectorizedBackend
+from repro.service import SearchService, create_server
+
+
+@pytest.fixture(scope="module")
+def engine(request):
+    graph, _ = request.getfixturevalue("tiny_kb")
+    return KeywordSearchEngine(graph, backend=VectorizedBackend())
+
+
+@pytest.fixture(scope="module")
+def service(engine):
+    return SearchService(engine)
+
+
+# ---------------------------------------------------------------------------
+# Pure request logic
+# ---------------------------------------------------------------------------
+def test_index_page_mentions_graph_size(service):
+    page = service.index_page()
+    assert "WikiSearch" in page
+    assert str(service.graph.n_nodes) in page
+
+
+def test_handle_search_success(service):
+    status, payload = service.handle_search("machine learning", k=3)
+    assert status == 200
+    assert payload["keywords"] == ["machin", "learn"]
+    assert payload["answers"]
+    answer = payload["answers"][0]
+    assert {"central_node", "central_text", "depth", "score", "nodes",
+            "edges"} <= set(answer)
+    # Node payloads annotate carried keywords.
+    carried = [n for n in answer["nodes"] if n["keywords"]]
+    assert carried
+
+
+def test_handle_search_validations(service):
+    assert service.handle_search("")[0] == 400
+    assert service.handle_search("x", k=0)[0] == 400
+    assert service.handle_search("x", alpha=1.5)[0] == 400
+
+
+def test_handle_search_unmatched_is_404(service):
+    status, payload = service.handle_search("zzzzqqq")
+    assert status == 404
+    assert "error" in payload
+
+
+def test_handle_path_routing(service):
+    status, content_type, body = service.handle_path("/")
+    assert status == 200 and content_type.startswith("text/html")
+    status, _, body = service.handle_path("/healthz")
+    assert status == 200
+    assert json.loads(body)["status"] == "ok"
+    status, _, _ = service.handle_path("/nope")
+    assert status == 404
+    status, _, body = service.handle_path("/search?q=machine+learning&k=2")
+    assert status == 200
+    assert len(json.loads(body)["answers"]) <= 2
+    status, _, _ = service.handle_path("/search?q=x&k=notanumber")
+    assert status == 400
+
+
+def test_stats_counters(engine):
+    service = SearchService(engine)
+    service.handle_search("machine learning")
+    service.handle_search("zzzz")
+    assert service.stats.queries == 2
+    assert service.stats.errors == 1
+
+
+# ---------------------------------------------------------------------------
+# Real HTTP round-trip (ephemeral port)
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def server(engine):
+    server = create_server(engine, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+
+
+def _get(server, path):
+    port = server.server_address[1]
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=10
+    ) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def test_http_health(server):
+    status, body = _get(server, "/healthz")
+    assert status == 200
+    assert json.loads(body)["status"] == "ok"
+
+
+def test_http_search_roundtrip(server):
+    status, body = _get(server, "/search?q=machine+learning&k=2&pretty=1")
+    assert status == 200
+    payload = json.loads(body)
+    assert payload["query"] == "machine learning"
+    assert payload["answers"]
+
+
+def test_http_index_page(server):
+    status, body = _get(server, "/")
+    assert status == 200
+    assert "<form" in body
+
+
+def test_http_error_status(server):
+    import urllib.error
+
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(server, "/search?q=zzzzqqq")
+    assert excinfo.value.code == 404

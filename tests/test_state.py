@@ -1,0 +1,95 @@
+"""SearchState: matrix initialization, frontier enqueue, central detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import INFINITE_LEVEL, SearchState
+
+
+def _state(n=6, sets=((0, 1), (2,)), activation=None):
+    if activation is None:
+        activation = np.zeros(n, dtype=np.int32)
+    return SearchState.initialize(
+        n, [np.array(s, dtype=np.int64) for s in sets], activation
+    )
+
+
+def test_initialize_sets_sources_and_flags():
+    state = _state()
+    assert state.n_nodes == 6
+    assert state.n_keywords == 2
+    assert state.matrix[0, 0] == 0
+    assert state.matrix[1, 0] == 0
+    assert state.matrix[2, 1] == 0
+    assert state.matrix[3, 0] == INFINITE_LEVEL
+    assert state.keyword_node[0] and state.keyword_node[2]
+    assert not state.keyword_node[3]
+    assert list(np.flatnonzero(state.f_identifier)) == [0, 1, 2]
+
+
+def test_initialize_requires_keywords():
+    with pytest.raises(ValueError):
+        SearchState.initialize(3, [], np.zeros(3, dtype=np.int32))
+
+
+def test_initialize_checks_activation_length():
+    with pytest.raises(ValueError):
+        SearchState.initialize(
+            3, [np.array([0])], np.zeros(2, dtype=np.int32)
+        )
+
+
+def test_enqueue_moves_flags_to_frontier_and_clears():
+    state = _state()
+    count = state.enqueue_frontiers()
+    assert count == 3
+    assert list(state.frontier) == [0, 1, 2]
+    assert state.f_identifier.sum() == 0
+    # Second enqueue with no new flags drains to empty.
+    assert state.enqueue_frontiers() == 0
+
+
+def test_identify_central_nodes_requires_full_row():
+    state = _state(sets=((0,), (0,)))
+    state.enqueue_frontiers()
+    found = state.identify_central_nodes(level=0)
+    assert found == [(0, 0)]
+    assert state.c_identifier[0] == 1
+    assert state.n_central_nodes == 1
+
+
+def test_identify_only_checks_frontier():
+    state = _state(sets=((0,), (1,)))
+    state.enqueue_frontiers()
+    # Complete node 3's row manually, but it is not a frontier.
+    state.matrix[3, 0] = 1
+    state.matrix[3, 1] = 1
+    assert state.identify_central_nodes(0) == []
+
+
+def test_identify_is_idempotent():
+    state = _state(sets=((0,), (0,)))
+    state.enqueue_frontiers()
+    assert state.identify_central_nodes(0) == [(0, 0)]
+    # Re-flag the node; it must not be identified twice.
+    state.f_identifier[0] = 1
+    state.enqueue_frontiers()
+    assert state.identify_central_nodes(1) == []
+    assert state.n_central_nodes == 1
+
+
+def test_identify_empty_frontier():
+    state = _state()
+    assert state.identify_central_nodes(0) == []
+
+
+def test_matrix_is_one_byte_per_cell():
+    state = _state(n=100, sets=((0,), (1,), (2,)))
+    assert state.matrix.dtype == np.uint8
+    assert state.matrix.nbytes == 100 * 3
+
+
+def test_nbytes_accounts_matrix_and_flags():
+    state = _state()
+    total = state.nbytes()
+    assert total >= state.matrix.nbytes + 2 * state.n_nodes

@@ -1,0 +1,187 @@
+"""Tokenizer, stopwords, and the Porter stemmer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.stemmer import porter_stem
+from repro.text.stopwords import ENGLISH_STOPWORDS, is_stopword
+from repro.text.tokenizer import Tokenizer, TokenizerConfig
+
+
+# ---------------------------------------------------------------------------
+# Stemmer: the classic Porter test vectors
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "word, stem",
+    [
+        ("caresses", "caress"),
+        ("ponies", "poni"),
+        ("ties", "ti"),
+        ("caress", "caress"),
+        ("cats", "cat"),
+        ("feed", "feed"),
+        ("agreed", "agre"),  # step1b gives "agree"; step5a then drops the e
+        ("plastered", "plaster"),
+        ("bled", "bled"),
+        ("motoring", "motor"),
+        ("sing", "sing"),
+        ("conflated", "conflat"),
+        ("troubled", "troubl"),
+        ("sized", "size"),
+        ("hopping", "hop"),
+        ("tanned", "tan"),
+        ("falling", "fall"),
+        ("hissing", "hiss"),
+        ("fizzed", "fizz"),
+        ("failing", "fail"),
+        ("filing", "file"),
+        ("happy", "happi"),
+        ("sky", "sky"),
+        ("relational", "relat"),
+        ("conditional", "condit"),
+        ("rational", "ration"),
+        ("valency", "valenc"),
+        ("hesitancy", "hesit"),
+        ("digitizer", "digit"),
+        ("conformably", "conform"),
+        ("radically", "radic"),
+        ("differently", "differ"),
+        ("vileness", "vile"),
+        ("analogously", "analog"),
+        ("vietnamization", "vietnam"),
+        ("predication", "predic"),
+        ("operator", "oper"),
+        ("feudalism", "feudal"),
+        ("decisiveness", "decis"),
+        ("hopefulness", "hope"),
+        ("callousness", "callous"),
+        ("formality", "formal"),
+        ("sensitivity", "sensit"),
+        ("sensibility", "sensibl"),
+        ("triplicate", "triplic"),
+        ("formative", "form"),
+        ("formalize", "formal"),
+        ("electricity", "electr"),
+        ("electrical", "electr"),  # step3 "electric"; step4 strips "ic" (m>1)
+        ("hopeful", "hope"),
+        ("goodness", "good"),
+        ("revival", "reviv"),
+        ("allowance", "allow"),
+        ("inference", "infer"),
+        ("airliner", "airlin"),
+        ("gyroscopic", "gyroscop"),
+        ("adjustable", "adjust"),
+        ("defensible", "defens"),
+        ("irritant", "irrit"),
+        ("replacement", "replac"),
+        ("adjustment", "adjust"),
+        ("dependent", "depend"),
+        ("adoption", "adopt"),
+        ("homologou", "homolog"),
+        ("communism", "commun"),
+        ("activate", "activ"),
+        ("angulariti", "angular"),
+        ("homologous", "homolog"),
+        ("effective", "effect"),
+        ("bowdlerize", "bowdler"),
+        ("probate", "probat"),
+        ("rate", "rate"),
+        ("cease", "ceas"),
+        ("controll", "control"),
+        ("roll", "roll"),
+        ("learning", "learn"),
+        ("indexing", "index"),
+        ("databases", "databas"),
+        ("searched", "search"),
+    ],
+)
+def test_porter_vectors(word, stem):
+    assert porter_stem(word) == stem
+
+
+def test_short_words_unchanged():
+    assert porter_stem("a") == "a"
+    assert porter_stem("is") == "is"
+    assert porter_stem("sky"[:2]) == "sk"
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=15))
+def test_stemmer_always_returns_nonempty_prefix_compatible(word):
+    stem = porter_stem(word)
+    assert stem
+    assert len(stem) <= len(word) + 1  # step 1b can append an 'e'
+
+
+# ---------------------------------------------------------------------------
+# Stopwords
+# ---------------------------------------------------------------------------
+def test_common_stopwords_present():
+    for word in ("the", "and", "of", "is", "with"):
+        assert is_stopword(word)
+
+
+def test_content_words_not_stopwords():
+    for word in ("database", "graph", "keyword", "xml"):
+        assert not is_stopword(word)
+
+
+def test_stopword_list_is_lowercase():
+    assert all(word == word.lower() for word in ENGLISH_STOPWORDS)
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+def test_tokenize_lowercases_splits_stems():
+    tokens = Tokenizer().tokenize("Efficient Indexing of Relational Databases")
+    assert tokens == ["effici", "index", "relat", "databas"]
+
+
+def test_tokenize_drops_numbers_by_default():
+    assert Tokenizer().tokenize("SPARQL 1.1 released 2013") == ["sparql", "releas"]
+
+
+def test_tokenize_keeps_numbers_when_configured():
+    tokenizer = Tokenizer(TokenizerConfig(keep_numbers=True, min_length=1))
+    assert "2013" in tokenizer.tokenize("released 2013")
+
+
+def test_tokenize_without_stemming():
+    tokenizer = Tokenizer(TokenizerConfig(stem=False))
+    assert tokenizer.tokenize("relational databases") == [
+        "relational",
+        "databases",
+    ]
+
+
+def test_tokenize_without_stopword_removal():
+    tokenizer = Tokenizer(TokenizerConfig(remove_stopwords=False, stem=False))
+    assert "the" in tokenizer.tokenize("the graph")
+
+
+def test_unique_terms_preserves_first_seen_order():
+    tokenizer = Tokenizer()
+    assert tokenizer.unique_terms("graph graphs GRAPH keyword") == [
+        "graph",
+        "keyword",
+    ]
+
+
+def test_min_length_filter():
+    tokenizer = Tokenizer(TokenizerConfig(min_length=6, stem=False))
+    assert tokenizer.tokenize("big knowledge") == ["knowledge"]
+
+
+def test_alphanumeric_tokens_survive():
+    assert "neo4j" in Tokenizer().tokenize("Neo4j graph database")
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.text(max_size=80))
+def test_tokenizer_never_crashes_and_output_is_normalized(text):
+    tokenizer = Tokenizer()
+    for token in tokenizer.tokenize(text):
+        assert token == token.lower()
+        assert len(token) >= tokenizer.config.min_length

@@ -1,0 +1,62 @@
+"""Search tracing (per-level observation of the bottom-up loop)."""
+
+import numpy as np
+
+from repro.core.bottom_up import BottomUpSearch
+from repro.core.trace import SearchTrace
+from repro.graph.generators import chain_graph
+
+from conftest import zero_activation
+
+
+def _sets(*groups):
+    return [np.array(g, dtype=np.int64) for g in groups]
+
+
+def test_trace_on_chain():
+    chain = chain_graph(5)
+    trace = SearchTrace()
+    BottomUpSearch(chain).run(
+        _sets([0], [4]), zero_activation(chain), k=1, observer=trace
+    )
+    assert trace.n_levels == 3  # levels 0, 1, 2 (central found at 2)
+    assert trace.frontier_sizes()[0] == 2  # both sources
+    # Level-0 expansion hits v1 and v3 (2 cells); level-1 hits v2 twice.
+    assert trace.records[0].hits == 2
+    assert trace.records[1].hits == 2
+    assert trace.records[2].new_central_nodes == [(2, 2)]
+
+
+def test_trace_fig1(fig1):
+    trace = SearchTrace()
+    BottomUpSearch(fig1.graph).run(
+        _sets(*fig1.keyword_nodes), fig1.activation, k=1, observer=trace
+    )
+    # Example 4: no hits at level 0 (v3 inactive), hits start at level 1.
+    assert trace.records[0].hits == 0
+    assert trace.records[1].hits > 0
+    assert trace.records[-1].new_central_nodes == [(2, 4)]
+    assert trace.total_hits() == sum(r.hits for r in trace.records)
+
+
+def test_trace_describe_format(fig1):
+    trace = SearchTrace()
+    BottomUpSearch(fig1.graph).run(
+        _sets(*fig1.keyword_nodes), fig1.activation, k=1, observer=trace
+    )
+    text = trace.describe()
+    assert "level" in text.splitlines()[0]
+    assert "v2(d=4)" in text
+    assert len(text.splitlines()) == trace.n_levels + 1
+
+
+def test_trace_absent_observer_changes_nothing(fig1):
+    plain = BottomUpSearch(fig1.graph).run(
+        _sets(*fig1.keyword_nodes), fig1.activation, k=1
+    )
+    traced = BottomUpSearch(fig1.graph).run(
+        _sets(*fig1.keyword_nodes), fig1.activation, k=1,
+        observer=SearchTrace(),
+    )
+    assert plain.central_nodes == traced.central_nodes
+    assert np.array_equal(plain.state.matrix, traced.state.matrix)

@@ -1,0 +1,99 @@
+"""DOT export and answer explanations."""
+
+import pytest
+
+from repro.baselines.common import AnswerTree
+from repro.core.central_graph import CentralGraph
+from repro.graph.builder import GraphBuilder
+from repro.viz import (
+    answer_tree_to_dot,
+    central_graph_to_dot,
+    edge_predicates,
+    explain_answer,
+)
+
+
+@pytest.fixture()
+def labeled_graph():
+    builder = GraphBuilder()
+    for text in ("SQL standard", "Query language", "SPARQL for RDF"):
+        builder.add_node(text)
+    builder.add_edge(0, 1, "instance of")
+    builder.add_edge(2, 1, "instance of")
+    builder.add_edge(1, 2, "describes")
+    return builder.build()
+
+
+@pytest.fixture()
+def answer():
+    return CentralGraph(
+        central_node=1,
+        depth=1,
+        nodes={0, 1, 2},
+        edges={(0, 1), (2, 1)},
+        keyword_contributions={0: frozenset({0}), 2: frozenset({1})},
+    )
+
+
+def test_edge_predicates_both_directions(labeled_graph):
+    assert edge_predicates(labeled_graph, 0, 1) == ["instance of"]
+    assert edge_predicates(labeled_graph, 1, 0) == ["^instance of"]
+    # Parallel edges in both directions are all reported.
+    both = edge_predicates(labeled_graph, 2, 1)
+    assert "instance of" in both
+    assert "^describes" in both
+
+
+def test_central_graph_dot_structure(labeled_graph, answer):
+    dot = central_graph_to_dot(answer, labeled_graph, keywords=["sql", "rdf"])
+    assert dot.startswith("digraph")
+    assert dot.rstrip().endswith("}")
+    assert "peripheries=2" in dot            # central node highlighted
+    assert "n0 -> n1" in dot and "n2 -> n1" in dot
+    assert "instance of" in dot
+    assert "[sql]" in dot and "[rdf]" in dot  # carried keywords annotated
+
+
+def test_central_graph_dot_escapes_quotes():
+    builder = GraphBuilder()
+    builder.add_node('node with "quotes"')
+    builder.add_node("plain")
+    builder.add_edge(0, 1, "p")
+    graph = builder.build()
+    answer = CentralGraph(1, 1, {0, 1}, {(0, 1)}, {0: frozenset({0})})
+    dot = central_graph_to_dot(answer, graph)
+    assert '\\"quotes\\"' in dot
+
+
+def test_central_graph_dot_truncates_long_text():
+    builder = GraphBuilder()
+    builder.add_node("x" * 100)
+    builder.add_node("y")
+    builder.add_edge(0, 1, "p")
+    graph = builder.build()
+    answer = CentralGraph(1, 1, {0, 1}, {(0, 1)}, {})
+    dot = central_graph_to_dot(answer, graph)
+    assert "x" * 100 not in dot
+    assert "…" in dot
+
+
+def test_answer_tree_dot(labeled_graph):
+    tree = AnswerTree(root=1, paths={0: [1, 0], 1: [1, 2]}, score=2.0)
+    dot = answer_tree_to_dot(tree, labeled_graph)
+    assert "digraph" in dot
+    assert "n1 -> n0" in dot
+    assert "n1 -> n2" in dot
+
+
+def test_explain_answer_mentions_everything(labeled_graph, answer):
+    text = explain_answer(answer, labeled_graph, keywords=["sql", "rdf"])
+    assert "Central Node: v1" in text
+    assert "'Query language'" in text
+    assert "carries [sql]" in text
+    assert "carries [rdf]" in text
+    assert "--instance of--> v1" in text
+
+
+def test_explain_without_keyword_names(labeled_graph, answer):
+    text = explain_answer(answer, labeled_graph)
+    assert "carries [t0]" in text

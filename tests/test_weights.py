@@ -1,0 +1,94 @@
+"""Degree-of-summary weights (Eq. 2)."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.weights import node_weights, normalize_weights, raw_degree_of_summary
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import random_graph, star_graph
+
+
+def test_star_hub_has_maximal_weight():
+    star = star_graph(20)
+    weights = node_weights(star)
+    assert weights[0] == 1.0  # the hub
+    assert (weights[1:] == 0.0).all()  # leaves have no in-edges
+
+
+def test_raw_weight_matches_eq2_by_hand():
+    # Node with in-edges: 3 × "instance of", 1 × "related to".
+    builder = GraphBuilder()
+    hub = builder.add_node("hub")
+    for i in range(3):
+        leaf = builder.add_node(f"a{i}")
+        builder.add_edge(leaf, hub, "instance of")
+    other = builder.add_node("b")
+    builder.add_edge(other, hub, "related to")
+    graph = builder.build()
+    raw = raw_degree_of_summary(graph)
+    expected = (3 * math.log2(4) + 1 * math.log2(2)) / 4
+    assert abs(raw[hub] - expected) < 1e-12
+
+
+def test_label_diversity_lowers_weight():
+    # Same in-degree (4), one label vs four labels.
+    def build(labels):
+        builder = GraphBuilder()
+        hub = builder.add_node("hub")
+        for i, label in enumerate(labels):
+            leaf = builder.add_node(f"l{i}")
+            builder.add_edge(leaf, hub, label)
+        return builder.build()
+
+    uniform = raw_degree_of_summary(build(["p"] * 4))[0]
+    diverse = raw_degree_of_summary(build(["p", "q", "r", "s"]))[0]
+    assert uniform > diverse
+
+
+def test_no_in_edges_weight_zero():
+    builder = GraphBuilder()
+    a = builder.add_node("a")
+    b = builder.add_node("b")
+    builder.add_edge(a, b, "p")
+    raw = raw_degree_of_summary(builder.build())
+    assert raw[a] == 0.0
+    assert raw[b] > 0.0
+
+
+def test_empty_graph():
+    graph = GraphBuilder().build()
+    assert len(node_weights(graph)) == 0
+
+
+def test_normalize_constant_vector_is_zero():
+    assert (normalize_weights(np.array([2.0, 2.0, 2.0])) == 0.0).all()
+
+
+def test_normalize_range():
+    normalized = normalize_weights(np.array([1.0, 3.0, 5.0]))
+    assert normalized.min() == 0.0
+    assert normalized.max() == 1.0
+    assert abs(normalized[1] - 0.5) < 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 1000), n=st.integers(2, 25), m=st.integers(1, 60))
+def test_weights_always_in_unit_interval(seed, n, m):
+    graph = random_graph(n, m, seed=seed)
+    weights = node_weights(graph)
+    assert len(weights) == n
+    assert (weights >= 0.0).all()
+    assert (weights <= 1.0).all()
+
+
+def test_wiki_hub_is_heaviest(tiny_kb):
+    graph, meta = tiny_kb
+    weights = node_weights(graph)
+    hub_weights = [weights[node] for node in meta.class_nodes.values()]
+    paper_weight = weights[meta.gold_papers["Q1"][0]]
+    # Summary class nodes outweigh ordinary papers by a wide margin.
+    assert max(hub_weights) == 1.0
+    assert paper_weight < 0.3

@@ -1,0 +1,135 @@
+"""Wikidata JSON dump ingestion."""
+
+import io
+import json
+
+import pytest
+
+from repro.graph.wikidata import (
+    COMMON_PROPERTY_LABELS,
+    load_wikidata_dump,
+    parse_wikidata_dump,
+)
+
+
+def _entity(entity_id, label=None, claims=None):
+    entity = {"id": entity_id, "type": "item"}
+    if label is not None:
+        entity["labels"] = {"en": {"language": "en", "value": label}}
+    if claims:
+        entity["claims"] = {
+            prop: [
+                {
+                    "mainsnak": {
+                        "snaktype": "value",
+                        "datavalue": {
+                            "type": "wikibase-entityid",
+                            "value": {"id": target},
+                        },
+                    }
+                }
+                for target in targets
+            ]
+            for prop, targets in claims.items()
+        }
+    return entity
+
+
+def _dump_text(entities, array_format=True):
+    lines = [json.dumps(entity) for entity in entities]
+    if array_format:
+        return "[\n" + ",\n".join(lines) + "\n]\n"
+    return "\n".join(lines) + "\n"
+
+
+SAMPLE = [
+    _entity("Q1", "SQL", {"P31": ["Q3"]}),
+    _entity("Q2", "SPARQL", {"P31": ["Q3"], "P921": ["Q4"]}),
+    _entity("Q3", "query language"),
+    _entity("Q4", "RDF"),
+    _entity("Q5", None, {"P31": ["Q3"]}),          # no English label
+    _entity("Q6", "dangling", {"P31": ["Q99"]}),   # target never defined
+]
+
+
+@pytest.mark.parametrize("array_format", [True, False])
+def test_parse_both_dump_formats(array_format):
+    handle = io.StringIO(_dump_text(SAMPLE, array_format))
+    graph, stats = parse_wikidata_dump(
+        handle, property_labels=COMMON_PROPERTY_LABELS
+    )
+    assert stats.entities_seen == 6
+    assert stats.entities_kept == 5       # Q5 filtered (no English label)
+    assert graph.n_nodes == 5
+    # Q1->Q3, Q2->Q3, Q2->Q4 survive; Q5's and Q6's edges drop.
+    assert graph.n_edges == 3
+    assert stats.edges_added == 3
+    assert "instance of" in graph.predicates
+    assert "main subject" in graph.predicates
+
+
+def test_unmapped_property_keeps_id():
+    entities = [
+        _entity("Q1", "a", {"P9999": ["Q2"]}),
+        _entity("Q2", "b"),
+    ]
+    graph, _ = parse_wikidata_dump(io.StringIO(_dump_text(entities)))
+    assert "P9999" in graph.predicates
+
+
+def test_malformed_lines_counted_not_fatal():
+    text = '[\n{"id": "Q1", "labels": {"en": {"value": "a"}}},\nnot json,\n42,\n]\n'
+    graph, stats = parse_wikidata_dump(io.StringIO(text))
+    assert stats.malformed_lines == 2
+    assert graph.n_nodes == 1
+
+
+def test_non_entity_snaks_ignored():
+    entity = {
+        "id": "Q1",
+        "labels": {"en": {"value": "thing"}},
+        "claims": {
+            "P569": [  # a time-valued claim: not an edge
+                {
+                    "mainsnak": {
+                        "snaktype": "value",
+                        "datavalue": {"type": "time", "value": {"time": "x"}},
+                    }
+                }
+            ],
+            "P31": [{"mainsnak": {"snaktype": "novalue"}}],
+        },
+    }
+    graph, stats = parse_wikidata_dump(
+        io.StringIO(_dump_text([entity]))
+    )
+    assert graph.n_edges == 0
+    assert stats.statements_seen == 0
+
+
+def test_max_entities_sampling():
+    handle = io.StringIO(_dump_text(SAMPLE))
+    graph, stats = parse_wikidata_dump(handle, max_entities=2)
+    assert stats.entities_seen == 2
+    assert graph.n_nodes <= 2
+
+
+def test_load_from_file_and_search(tmp_path):
+    path = tmp_path / "dump.json"
+    path.write_text(_dump_text(SAMPLE))
+    graph, _ = load_wikidata_dump(
+        str(path), property_labels=COMMON_PROPERTY_LABELS
+    )
+    from repro import KeywordSearchEngine
+
+    engine = KeywordSearchEngine(graph, average_distance=2.0)
+    result = engine.search("sql sparql", k=2)
+    assert result.answers
+    texts = {graph.node_text[n] for n in result.answers[0].graph.nodes}
+    assert {"SQL", "SPARQL"} <= texts
+
+
+def test_self_loop_statements_dropped():
+    entities = [_entity("Q1", "a", {"P31": ["Q1"]})]
+    graph, stats = parse_wikidata_dump(io.StringIO(_dump_text(entities)))
+    assert graph.n_edges == 0
