@@ -1,0 +1,55 @@
+"""Kernel microbenchmark — fused single-pass vs. seed per-column expansion.
+
+The fused-kernel rewrite claims the expansion hot path should evaluate
+Algorithm 2 for all q BFS instances in one pass over the edge list (the
+CPU image of the paper's one-thread-per-(frontier, neighbor, keyword)
+GPU grid), with an optional compiled C tier for the lane-word loop.
+This benchmark pins that claim against a faithful copy of the seed
+per-column implementation on the wiki2018-scale KB with Knum=8, checks
+the answers stay bitwise-identical, and records the result as
+``BENCH_kernel.json`` at the repo root so the perf trajectory is
+versioned with the code.
+
+Run as part of the suite::
+
+    pytest benchmarks/bench_kernel_microbench.py -s
+
+or standalone (equivalent to ``python -m repro bench-kernel``)::
+
+    python benchmarks/bench_kernel_microbench.py
+"""
+
+import os
+
+from repro.bench.kernel_microbench import (
+    format_report,
+    run_kernel_microbench,
+    write_payload,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+PAYLOAD_PATH = os.path.join(REPO_ROOT, "BENCH_kernel.json")
+
+
+def test_kernel_microbench(wiki2018, write_result):
+    payload = run_kernel_microbench(dataset=wiki2018, knum=8, repeats=3)
+    assert payload["answers_identical"], (
+        "fused kernel changed the answers"
+    )
+    write_payload(payload, PAYLOAD_PATH)
+    write_result(
+        "kernel_microbench",
+        "Fused expansion kernel vs. seed per-column baseline",
+        format_report(payload),
+    )
+
+
+def main() -> None:
+    payload = run_kernel_microbench(scale="wiki2018", knum=8, repeats=3)
+    print(format_report(payload))
+    write_payload(payload, PAYLOAD_PATH)
+    print(f"wrote {PAYLOAD_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -74,6 +74,25 @@ def main() -> None:
     unique = {tuple(map(tuple, s)) for s in signatures.values()}
     print(f"\nall backends agree on every answer: {len(unique) == 1}")
 
+    # Per-level expansion profile of one query through the fused kernel —
+    # the paper's Fig. 6/7 phase breakdowns resolved per BFS level.
+    engine = KeywordSearchEngine(
+        graph,
+        backend=VectorizedBackend(),
+        index=reference.index,
+        weights=reference.weights,
+        average_distance=reference.average_distance,
+    )
+    result = engine.search(queries[0], k=10)
+    print(f"\nper-level profile of {queries[0]!r} "
+          f"(d={result.depth}, {result.n_central_nodes} central nodes):")
+    print(f"{'level':>5} {'frontier':>9} {'edges':>9} "
+          f"{'new_hits':>9} {'new_central':>12}")
+    for record in result.level_profile:
+        print(f"{record.level:5d} {record.frontier_size:9d} "
+              f"{record.edges_scanned:9d} {record.new_hits:9d} "
+              f"{record.new_central:12d}")
+
 
 if __name__ == "__main__":
     main()

@@ -23,6 +23,13 @@ from .harness import (
     vary_topk,
 )
 from ..instrumentation import PhaseTimer, StorageReport, average_timers
+from .kernel_microbench import (
+    LegacyPerColumnBackend,
+    format_report,
+    run_kernel_microbench,
+    validate_payload,
+    write_payload,
+)
 from .reporting import (
     distribution_table_text,
     format_table,
@@ -33,6 +40,7 @@ from .reporting import (
 
 __all__ = [
     "BenchDataset",
+    "LegacyPerColumnBackend",
     "METHOD_BANKS2",
     "METHOD_CPU_PAR",
     "METHOD_CPU_PAR_D",
@@ -49,13 +57,17 @@ __all__ = [
     "make_engine",
     "precision_table",
     "run_method",
+    "format_report",
+    "run_kernel_microbench",
     "storage_table",
     "sweep_table",
     "total_time_table",
+    "validate_payload",
     "vary_alpha",
     "vary_knum",
     "vary_tnum",
     "vary_topk",
     "wiki2017_dataset",
     "wiki2018_dataset",
+    "write_payload",
 ]

@@ -1,0 +1,379 @@
+"""Kernel microbenchmark: fused single-pass vs. seed per-column expansion.
+
+The fused kernel rewrite (``repro.parallel.vectorized``) claims that one
+pass over the (E × q) work grid beats q sequential 1-D passes over the
+edge list. This module pins that claim: it keeps a faithful copy of the
+*seed* per-column implementation (including its per-level ``astype``
+adjacency copy and ``indptr`` diffs) as the baseline, runs the same
+query workload through both, and reports per-phase times plus the fused
+kernel's work counters.
+
+The result payload is written as ``BENCH_kernel.json`` (repo root by
+convention) so the performance trajectory is recorded alongside the
+code. ``python -m repro bench-kernel`` and
+``benchmarks/bench_kernel_microbench.py`` both route through
+:func:`run_kernel_microbench`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.engine import EngineConfig, KeywordSearchEngine
+from ..core.state import INFINITE_LEVEL, SearchState
+from ..graph.csr import KnowledgeGraph
+from ..graph.generators import WikiKBConfig, wiki2017_config, wiki2018_config
+from ..instrumentation import PHASE_EXPANSION, PHASE_TOTAL, KernelCounters
+from ..parallel.backend import ExpansionBackend
+from ..parallel.vectorized import VectorizedBackend
+from .datasets import BenchDataset, build_dataset
+
+SCHEMA_VERSION = "repro.bench_kernel/v1"
+
+#: Size knobs for the pytest smoke test — a few hundred nodes, so the
+#: full microbenchmark path runs in well under a second.
+TINY_SCALE = "tiny"
+
+_REQUIRED_SIDE_KEYS = ("name", "expansion_ms", "total_ms")
+
+
+def tiny_config(seed: int = 7) -> WikiKBConfig:
+    """A miniature wiki-shaped KB for smoke-testing the microbenchmark."""
+    return WikiKBConfig(
+        name="wiki-tiny-sim",
+        seed=seed,
+        n_papers=60,
+        n_people=30,
+        n_misc=30,
+        n_venues=8,
+        n_orgs=8,
+    )
+
+
+_SCALE_CONFIGS = {
+    "wiki2017": wiki2017_config,
+    "wiki2018": wiki2018_config,
+    TINY_SCALE: tiny_config,
+}
+
+
+class LegacyPerColumnBackend(ExpansionBackend):
+    """The seed vectorized backend, preserved as the measured baseline.
+
+    One boolean pass over the flattened edge list *per keyword column*,
+    with the adjacency re-gathered from scratch (including the
+    ``astype(int64)`` copy) every level — exactly the code the fused
+    kernel replaced. It opts out of incremental finite-cell counting, so
+    Central Node identification falls back to the seed's 2-D row scan.
+    """
+
+    name = "legacy-per-column"
+
+    def expand(self, graph: KnowledgeGraph, state: SearchState, level: int) -> None:
+        state.invalidate_finite_count()
+        frontier = state.frontier
+        if len(frontier) == 0:
+            return
+        matrix = state.matrix
+        f_identifier = state.f_identifier
+        activation = state.activation
+        next_level = level + 1
+
+        frontier = frontier[state.c_identifier[frontier] == 0]
+        if len(frontier) == 0:
+            return
+        inactive = activation[frontier] > level
+        f_identifier[frontier[inactive]] = 1
+        frontier = frontier[~inactive]
+        if len(frontier) == 0:
+            return
+
+        indptr = graph.adj.indptr
+        starts = indptr[frontier]
+        degrees = indptr[frontier + 1] - starts
+        total = int(degrees.sum())
+        if total == 0:
+            return
+        offsets = np.concatenate(([0], np.cumsum(degrees)[:-1]))
+        positions = np.repeat(starts - offsets, degrees) + np.arange(total)
+        neighbors = graph.adj.indices[positions].astype(np.int64)
+        sources = np.repeat(frontier, degrees)
+
+        neighbor_is_keyword = state.keyword_node[neighbors]
+        neighbor_blocked = ~neighbor_is_keyword & (
+            activation[neighbors] > next_level
+        )
+        for column in range(state.n_keywords):
+            eligible = matrix[sources, column] <= level
+            if not eligible.any():
+                continue
+            unvisited = matrix[neighbors, column] == INFINITE_LEVEL
+            active_pairs = eligible & unvisited
+            if not active_pairs.any():
+                continue
+            blocked_pairs = active_pairs & neighbor_blocked
+            if blocked_pairs.any():
+                f_identifier[sources[blocked_pairs]] = 1
+            hit_pairs = active_pairs & ~neighbor_blocked
+            if hit_pairs.any():
+                hit = neighbors[hit_pairs]
+                matrix[hit, column] = next_level
+                f_identifier[hit] = 1
+
+
+class _CountingVectorizedBackend(VectorizedBackend):
+    """Fused backend that also accumulates kernel counters across levels.
+
+    The harness resets the totals at every timing repeat, so the
+    reported counters describe exactly one pass over the workload.
+    """
+
+    def __init__(self, native: "Optional[bool]" = None) -> None:
+        super().__init__(native=native)
+        self.totals = KernelCounters()
+
+    def reset_totals(self) -> None:
+        self.totals = KernelCounters()
+
+    def expand(self, graph: KnowledgeGraph, state: SearchState, level: int) -> None:
+        super().expand(graph, state, level)
+        if self.last_counters is not None:
+            self.totals.add(self.last_counters)
+
+
+def _answer_signature(result) -> tuple:
+    return tuple(
+        (answer.graph.central_node, round(answer.score, 9))
+        for answer in result.answers
+    )
+
+
+def _run_side(
+    dataset: BenchDataset,
+    backend: ExpansionBackend,
+    queries: List[str],
+    topk: int,
+    repeats: int,
+) -> "tuple[dict, list]":
+    engine = KeywordSearchEngine(
+        dataset.graph,
+        backend=backend,
+        index=dataset.index,
+        weights=dataset.weights,
+        average_distance=dataset.distance.average,
+        config=EngineConfig(topk=topk),
+    )
+    best_expansion = float("inf")
+    best_total = float("inf")
+    signatures: list = []
+    for repeat in range(repeats):
+        reset = getattr(backend, "reset_totals", None)
+        if reset is not None:
+            reset()
+        expansion = 0.0
+        total = 0.0
+        repeat_signatures = []
+        for query in queries:
+            result = engine.search(query, k=topk)
+            expansion += result.timer.get(PHASE_EXPANSION)
+            total += result.timer.get(PHASE_TOTAL)
+            repeat_signatures.append(_answer_signature(result))
+        best_expansion = min(best_expansion, expansion)
+        best_total = min(best_total, total)
+        if repeat == 0:
+            signatures = repeat_signatures
+    side = {
+        "name": backend.name,
+        "expansion_ms": best_expansion * 1e3,
+        "total_ms": best_total * 1e3,
+    }
+    return side, signatures
+
+
+def run_kernel_microbench(
+    scale: str = "wiki2018",
+    knum: int = 8,
+    n_queries: int = 5,
+    repeats: int = 3,
+    topk: int = 20,
+    seed: int = 13,
+    dataset: Optional[BenchDataset] = None,
+) -> Dict[str, object]:
+    """Measure seed per-column vs. fused expansion on one workload.
+
+    Args:
+        scale: ``wiki2017`` / ``wiki2018`` / ``tiny`` (smoke tests).
+        knum: keywords per query (the paper's Knum; acceptance uses 8).
+        n_queries: sampled queries per repeat.
+        repeats: timing repeats; best-of is reported to damp noise.
+        topk: answers requested per query.
+        seed: workload sampling seed.
+        dataset: prebuilt dataset override (skips generation).
+
+    Returns:
+        The ``BENCH_kernel.json`` payload (already schema-valid).
+    """
+    from ..eval.queries import KeywordWorkload
+
+    if dataset is None:
+        if scale not in _SCALE_CONFIGS:
+            raise ValueError(
+                f"unknown scale {scale!r}; pick one of {sorted(_SCALE_CONFIGS)}"
+            )
+        dataset = build_dataset(_SCALE_CONFIGS[scale]())
+    workload = KeywordWorkload(dataset.index, seed=seed)
+    queries = workload.sample_queries(knum, n_queries)
+
+    from ..parallel.vectorized import _native_kernel
+
+    native_active = _native_kernel() is not None
+    baseline_backend = LegacyPerColumnBackend()
+    fused_backend = _CountingVectorizedBackend()
+    fused_backend.name = (
+        "fused (native)" if native_active else "fused (numpy)"
+    )
+    baseline, baseline_signatures = _run_side(
+        dataset, baseline_backend, queries, topk, repeats
+    )
+    fused, fused_signatures = _run_side(
+        dataset, fused_backend, queries, topk, repeats
+    )
+    fused["counters"] = fused_backend.totals.as_dict()
+
+    answers_identical = baseline_signatures == fused_signatures
+    fused_numpy = None
+    if native_active:
+        # A/B row: the same fused algorithm pinned to the NumPy tier, so
+        # the payload records what the compiled kernel itself buys.
+        numpy_backend = _CountingVectorizedBackend(native=False)
+        numpy_backend.name = "fused (numpy)"
+        fused_numpy, numpy_signatures = _run_side(
+            dataset, numpy_backend, queries, topk, repeats
+        )
+        fused_numpy["counters"] = numpy_backend.totals.as_dict()
+        answers_identical = (
+            answers_identical and baseline_signatures == numpy_signatures
+        )
+
+    speedup = (
+        baseline["expansion_ms"] / fused["expansion_ms"]
+        if fused["expansion_ms"] > 0
+        else float("inf")
+    )
+    payload: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "dataset": dataset.name,
+        "n_nodes": dataset.graph.n_nodes,
+        "n_edges": dataset.graph.n_edges,
+        "knum": knum,
+        "n_queries": len(queries),
+        "repeats": repeats,
+        "topk": topk,
+        "seed": seed,
+        "native_kernel": native_active,
+        "baseline": baseline,
+        "fused": fused,
+        "speedup_expansion": speedup,
+        "answers_identical": answers_identical,
+        "generated_unix": time.time(),
+    }
+    if fused_numpy is not None:
+        payload["fused_numpy"] = fused_numpy
+    validate_payload(payload)
+    return payload
+
+
+def validate_payload(payload: Dict[str, object]) -> None:
+    """Schema-check one ``BENCH_kernel.json`` payload.
+
+    Raises:
+        ValueError: on any missing key, wrong type, or impossible value.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("payload must be a dict")
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"schema must be {SCHEMA_VERSION!r}")
+    for key in ("dataset",):
+        if not isinstance(payload.get(key), str) or not payload[key]:
+            raise ValueError(f"{key} must be a non-empty string")
+    for key in ("n_nodes", "n_edges", "knum", "n_queries", "repeats", "topk"):
+        value = payload.get(key)
+        if not isinstance(value, int) or value <= 0:
+            raise ValueError(f"{key} must be a positive integer")
+    side_keys = ["baseline", "fused"]
+    if "fused_numpy" in payload:
+        side_keys.append("fused_numpy")
+    for side_key in side_keys:
+        side = payload.get(side_key)
+        if not isinstance(side, dict):
+            raise ValueError(f"{side_key} must be a dict")
+        for key in _REQUIRED_SIDE_KEYS:
+            if key not in side:
+                raise ValueError(f"{side_key}.{key} is required")
+        for key in ("expansion_ms", "total_ms"):
+            if not isinstance(side[key], (int, float)) or side[key] < 0:
+                raise ValueError(f"{side_key}.{key} must be non-negative")
+        if side_key == "baseline":
+            continue
+        counters = side.get("counters")
+        if not isinstance(counters, dict):
+            raise ValueError(f"{side_key}.counters must be a dict")
+        for key in (
+            "sources_pruned",
+            "edges_gathered",
+            "pairs_hit",
+            "duplicates_elided",
+        ):
+            if not isinstance(counters.get(key), int) or counters[key] < 0:
+                raise ValueError(
+                    f"{side_key}.counters.{key} must be a non-negative int"
+                )
+    if not isinstance(payload.get("native_kernel"), bool):
+        raise ValueError("native_kernel must be a bool")
+    speedup = payload.get("speedup_expansion")
+    if not isinstance(speedup, (int, float)) or speedup <= 0:
+        raise ValueError("speedup_expansion must be positive")
+    if not isinstance(payload.get("answers_identical"), bool):
+        raise ValueError("answers_identical must be a bool")
+
+
+def write_payload(payload: Dict[str, object], path: str) -> None:
+    """Persist a payload (validated first) as pretty-printed JSON."""
+    validate_payload(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_report(payload: Dict[str, object]) -> str:
+    """Human-readable summary of one payload (CLI / benchmark output)."""
+    sides = [payload["baseline"]]
+    if "fused_numpy" in payload:
+        sides.append(payload["fused_numpy"])
+    sides.append(payload["fused"])
+    counters = payload["fused"]["counters"]  # type: ignore[index]
+    lines = [
+        f"kernel microbenchmark on {payload['dataset']} "
+        f"({payload['n_nodes']} nodes, {payload['n_edges']} edges), "
+        f"Knum={payload['knum']}, {payload['n_queries']} queries, "
+        f"best of {payload['repeats']}:",
+        f"  {'backend':24} {'expansion_ms':>12} {'total_ms':>10}",
+    ]
+    for side in sides:
+        lines.append(
+            f"  {side['name']:24} {side['expansion_ms']:12.2f} "  # type: ignore[index]
+            f"{side['total_ms']:10.2f}"  # type: ignore[index]
+        )
+    lines += [
+        f"  expansion speedup: {payload['speedup_expansion']:.2f}x, "
+        f"answers identical: {payload['answers_identical']}",
+        f"  fused kernel work: {counters['edges_gathered']} edges gathered, "
+        f"{counters['pairs_hit']} cells hit, "
+        f"{counters['duplicates_elided']} duplicates elided, "
+        f"{counters['sources_pruned']} sources prefiltered",
+    ]
+    return "\n".join(lines)

@@ -8,7 +8,9 @@ Commands:
   freshly generated graph;
 * ``search``   — run a keyword query and print ranked Central Graphs,
   optionally with predicate-level explanations or GraphViz DOT output;
-* ``bench``    — a quick single-machine profile (mini Fig. 6 row).
+* ``bench``    — a quick single-machine profile (mini Fig. 6 row);
+* ``bench-kernel`` — fused-kernel vs. seed per-column expansion
+  microbenchmark, written to ``BENCH_kernel.json``.
 
 Examples::
 
@@ -87,6 +89,25 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--graph", help="saved graph path (default: generate)")
     bench.add_argument("--knum", type=int, default=6)
     bench.add_argument("--queries", type=int, default=5)
+
+    bench_kernel = commands.add_parser(
+        "bench-kernel",
+        help="fused-kernel vs. seed per-column microbenchmark "
+             "(writes BENCH_kernel.json)",
+    )
+    bench_kernel.add_argument(
+        "--scale", choices=("wiki2017", "wiki2018", "tiny"),
+        default="wiki2018",
+    )
+    bench_kernel.add_argument("--knum", type=int, default=8)
+    bench_kernel.add_argument("--queries", type=int, default=5)
+    bench_kernel.add_argument("--repeats", type=int, default=3)
+    bench_kernel.add_argument("--topk", type=int, default=20)
+    bench_kernel.add_argument("--seed", type=int, default=13)
+    bench_kernel.add_argument(
+        "--out", default="BENCH_kernel.json",
+        help="result JSON path ('' skips writing)",
+    )
 
     serve = commands.add_parser(
         "serve", help="run the WikiSearch-style HTTP service"
@@ -225,6 +246,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_kernel(args: argparse.Namespace) -> int:
+    from .bench.kernel_microbench import (
+        format_report,
+        run_kernel_microbench,
+        write_payload,
+    )
+
+    payload = run_kernel_microbench(
+        scale=args.scale,
+        knum=args.knum,
+        n_queries=args.queries,
+        repeats=args.repeats,
+        topk=args.topk,
+        seed=args.seed,
+    )
+    print(format_report(payload))
+    if args.out:
+        write_payload(payload, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
     import threading
@@ -271,6 +314,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stats": _cmd_stats,
         "search": _cmd_search,
         "bench": _cmd_bench,
+        "bench-kernel": _cmd_bench_kernel,
         "serve": _cmd_serve,
     }
     return handlers[args.command](args)

@@ -15,7 +15,7 @@ Nodes exist (Theorem V.3), when the frontier drains empty, or at the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -25,6 +25,7 @@ from ..instrumentation import (
     PHASE_EXPANSION,
     PHASE_IDENTIFY,
     PHASE_INITIALIZATION,
+    KernelCounters,
     PhaseTimer,
 )
 from ..graph.csr import KnowledgeGraph
@@ -43,6 +44,29 @@ from .state import (
 
 
 @dataclass
+class LevelProfile:
+    """Expansion accounting for one BFS level (the Fig. 6/7 phase
+    breakdowns, resolved per level instead of per run).
+
+    Attributes:
+        level: the global BFS level.
+        frontier_size: nodes enqueued into the joint frontier.
+        edges_scanned: CSR entries touched by expansion — the exact
+            gathered count when the backend reports kernel counters, else
+            the degree sum of the enqueued frontier (an upper bound for
+            the per-node kernel).
+        new_hits: unique (node, keyword) cells that became finite.
+        new_central: Central Nodes identified at this level.
+    """
+
+    level: int
+    frontier_size: int
+    edges_scanned: int
+    new_hits: int
+    new_central: int
+
+
+@dataclass
 class BottomUpResult:
     """Everything stage two needs, plus diagnostics.
 
@@ -54,6 +78,9 @@ class BottomUpResult:
         levels_executed: number of expansion levels actually run.
         terminated: one of the ``TERMINATED_*`` reasons.
         peak_state_nbytes: max dynamic memory observed (Table IV).
+        level_profile: per-level expansion counters, one entry per level
+            the loop entered (including the terminal level that only
+            enqueued/identified).
     """
 
     state: SearchState
@@ -62,6 +89,7 @@ class BottomUpResult:
     terminated: str
     peak_state_nbytes: int
     timer: PhaseTimer
+    level_profile: List[LevelProfile] = field(default_factory=list)
 
     @property
     def central_nodes(self) -> List[Tuple[int, int]]:
@@ -133,10 +161,12 @@ class BottomUpSearch:
             )
         peak_nbytes = state.nbytes()
 
-        infinite_cells = int(np.count_nonzero(state.matrix == 255))
+        finite_cells = state.total_finite_cells()
         level = 0
         levels_executed = 0
         terminated = TERMINATED_LEVEL_CAP
+        profile: List[LevelProfile] = []
+        degree_array = self.graph.adj.degree_array
         while level <= self.lmax:
             with timer.phase(PHASE_ENQUEUE):
                 n_frontier = state.enqueue_frontiers()
@@ -149,17 +179,41 @@ class BottomUpSearch:
                 found = state.identify_central_nodes(level)
             if observer is not None and found:
                 observer.on_central_nodes(found)
+            record = LevelProfile(
+                level=level,
+                frontier_size=n_frontier,
+                edges_scanned=0,
+                new_hits=0,
+                new_central=len(found),
+            )
+            profile.append(record)
             if state.n_central_nodes >= k:
                 terminated = TERMINATED_ENOUGH_ANSWERS
                 break
             if level == self.lmax:
                 break
+            if hasattr(self.backend, "last_counters"):
+                self.backend.last_counters = None
             with timer.phase(PHASE_EXPANSION):
                 self.backend.expand(self.graph, state, level)
+            counters: Optional[KernelCounters] = getattr(
+                self.backend, "last_counters", None
+            )
+            now_finite = state.total_finite_cells()
+            record.new_hits = now_finite - finite_cells
+            finite_cells = now_finite
+            if counters is not None:
+                record.edges_scanned = counters.edges_gathered
+            else:
+                record.edges_scanned = int(
+                    degree_array[state.frontier].sum()
+                )
             if observer is not None:
-                remaining = int(np.count_nonzero(state.matrix == 255))
-                observer.on_expansion_done(infinite_cells - remaining)
-                infinite_cells = remaining
+                observer.on_expansion_done(record.new_hits)
+                if counters is not None and hasattr(
+                    observer, "on_kernel_counters"
+                ):
+                    observer.on_kernel_counters(counters)
             levels_executed += 1
             peak_nbytes = max(peak_nbytes, state.nbytes())
             level += 1
@@ -175,4 +229,5 @@ class BottomUpSearch:
             terminated=terminated,
             peak_state_nbytes=peak_nbytes,
             timer=timer,
+            level_profile=profile,
         )

@@ -225,6 +225,7 @@ class KeywordSearchEngine:
             terminated=bottom_up.terminated,
             timer=timer,
             peak_state_nbytes=bottom_up.peak_state_nbytes,
+            level_profile=bottom_up.level_profile,
         )
 
     # ------------------------------------------------------------------

@@ -8,11 +8,14 @@ the variants interchangeably.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from ..instrumentation import PhaseTimer
 from .central_graph import SearchAnswer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .bottom_up import LevelProfile
 
 
 class EmptyQueryError(ValueError):
@@ -35,6 +38,9 @@ class SearchResult:
         terminated: stage-one termination reason.
         timer: per-phase wall-clock times.
         peak_state_nbytes: peak dynamic memory of this query (Table IV).
+        level_profile: per-BFS-level expansion accounting from stage one
+            (frontier size, edges scanned, new hits, new Central Nodes);
+            empty for engine variants that do not record it.
     """
 
     answers: List[SearchAnswer]
@@ -45,6 +51,7 @@ class SearchResult:
     terminated: str
     timer: PhaseTimer
     peak_state_nbytes: int
+    level_profile: "List[LevelProfile]" = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.answers)

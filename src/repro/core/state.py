@@ -23,7 +23,7 @@ current level + 1), which is exactly what makes the procedure lock-free
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,6 +53,13 @@ class SearchState:
         activation: per-node minimum activation levels a_i for this query's α.
         frontier: node ids expanding at the current level.
         central_nodes: (node, depth) pairs in identification order.
+        finite_count: per-node count of finite cells in the node's M row.
+            Backends maintain it incrementally (each hit converts exactly
+            one ∞ cell, so the count advances by the number of deduplicated
+            (node, keyword) writes), which turns Central Node
+            identification into a 1-D ``finite_count == q`` compare instead
+            of a 2-D row scan. Backends that bulk-rewrite M instead call
+            :meth:`refresh_finite_count` or :meth:`invalidate_finite_count`.
     """
 
     matrix: np.ndarray
@@ -67,6 +74,10 @@ class SearchState:
         default_factory=lambda: np.empty(0, dtype=np.int64)
     )
     central_nodes: List[Tuple[int, int]] = field(default_factory=list)
+    finite_count: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int32)
+    )
+    finite_count_stale: bool = False
 
     # ------------------------------------------------------------------
     # Construction (the "Initialization" phase of Fig. 6/7)
@@ -107,6 +118,9 @@ class SearchState:
             keyword_node=keyword_node,
             activation=np.asarray(activation, dtype=np.int32),
             central_level=np.full(n_nodes, -1, dtype=np.int16),
+            finite_count=(matrix != INFINITE_LEVEL).sum(
+                axis=1, dtype=np.int32
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -151,6 +165,9 @@ class SearchState:
         the BFS level at identification time. Identified nodes become
         unavailable for future expansion (Section III-B).
 
+        When ``finite_count`` is maintained this is an O(frontier) 1-D
+        compare; with a stale count it falls back to the 2-D row scan.
+
         Returns:
             The (node, depth) pairs newly identified at this level.
         """
@@ -159,9 +176,12 @@ class SearchState:
         candidates = self.frontier[self.c_identifier[self.frontier] == 0]
         if len(candidates) == 0:
             return []
-        complete = np.all(
-            self.matrix[candidates] != INFINITE_LEVEL, axis=1
-        )
+        if self.finite_count_usable():
+            complete = self.finite_count[candidates] == self.n_keywords
+        else:
+            complete = np.all(
+                self.matrix[candidates] != INFINITE_LEVEL, axis=1
+            )
         newly_central = candidates[complete]
         if len(newly_central) == 0:
             return []
@@ -172,14 +192,80 @@ class SearchState:
         return found
 
     # ------------------------------------------------------------------
+    # Incremental finite-cell accounting
+    # ------------------------------------------------------------------
+    def finite_count_usable(self) -> bool:
+        """True when ``finite_count`` is exact and sized for this state."""
+        return (
+            not self.finite_count_stale
+            and len(self.finite_count) == self.n_nodes
+        )
+
+    def record_hits(self, nodes: np.ndarray) -> None:
+        """Advance ``finite_count`` after deduplicated matrix writes.
+
+        ``nodes`` carries one entry per unique (node, keyword) cell that
+        went from ∞ to finite; a node hit in several instances this level
+        appears once per instance. Aggregated with ``bincount`` rather
+        than ``np.add.at`` — the buffered ufunc path is an order of
+        magnitude slower on large hit batches.
+        """
+        if self.finite_count_usable() and len(nodes):
+            self.finite_count += np.bincount(
+                nodes, minlength=self.n_nodes
+            ).astype(np.int32)
+
+    def refresh_finite_count(self, nodes: "Optional[np.ndarray]" = None) -> None:
+        """Recompute ``finite_count`` from M for ``nodes`` (or every node).
+
+        Backends that bulk-rewrite M (e.g. the shared-memory process pool
+        copying its segment back) resynchronize the touched rows here.
+        """
+        if len(self.finite_count) != self.n_nodes:
+            self.finite_count = np.empty(self.n_nodes, dtype=np.int32)
+            nodes = None
+        if nodes is None:
+            np.sum(
+                self.matrix != INFINITE_LEVEL,
+                axis=1,
+                dtype=np.int32,
+                out=self.finite_count,
+            )
+            self.finite_count_stale = False
+            return
+        if len(nodes):
+            self.finite_count[nodes] = (
+                self.matrix[nodes] != INFINITE_LEVEL
+            ).sum(axis=1, dtype=np.int32)
+
+    def invalidate_finite_count(self) -> None:
+        """Mark ``finite_count`` unreliable; identification falls back to
+        the full 2-D row scan (the pre-fused-kernel behavior)."""
+        self.finite_count_stale = True
+
+    def total_finite_cells(self) -> int:
+        """Number of finite M cells (used for per-level hit accounting)."""
+        if self.finite_count_usable():
+            return int(self.finite_count.sum())
+        return int(np.count_nonzero(self.matrix != INFINITE_LEVEL))
+
+    # ------------------------------------------------------------------
     # Storage accounting (Table IV)
     # ------------------------------------------------------------------
     def nbytes(self) -> int:
-        """Dynamic memory of this query's state: M + flags + frontier."""
+        """Dynamic memory of this query's state.
+
+        Everything allocated per query counts: M, both identifier arrays,
+        the keyword mask, the central-level array, the per-query activation
+        mapping, the incremental finite-cell counts and the frontier.
+        """
         return int(
             self.matrix.nbytes
             + self.f_identifier.nbytes
             + self.c_identifier.nbytes
             + self.keyword_node.nbytes
+            + self.central_level.nbytes
+            + self.activation.nbytes
+            + self.finite_count.nbytes
             + self.frontier.nbytes
         )

@@ -10,7 +10,9 @@ via ``BottomUpSearch.run(..., observer=trace)``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
+
+from ..instrumentation import KernelCounters
 
 
 @dataclass
@@ -23,12 +25,16 @@ class LevelRecord:
         new_central_nodes: (node, depth) pairs identified at this level.
         hits: count of (node, keyword) cells set during this level's
             expansion (i.e. matrix writes).
+        kernel: fused-kernel work counters for this level's expansion
+            (edges gathered, unique cells hit, duplicates elided), when
+            the backend reports them; ``None`` for per-node backends.
     """
 
     level: int
     frontier_size: int
     new_central_nodes: List[Tuple[int, int]] = field(default_factory=list)
     hits: int = 0
+    kernel: Optional[KernelCounters] = None
 
 
 class SearchTrace:
@@ -51,6 +57,14 @@ class SearchTrace:
         """Called after expansion with the number of new matrix writes."""
         if self.records:
             self.records[-1].hits += hits
+
+    def on_kernel_counters(self, counters: KernelCounters) -> None:
+        """Called after expansion by fused-kernel backends."""
+        if self.records:
+            record = self.records[-1]
+            if record.kernel is None:
+                record.kernel = KernelCounters()
+            record.kernel.add(counters)
 
     # Reporting -----------------------------------------------------------
     @property

@@ -17,6 +17,7 @@ matrix, frontier flags) can be manipulated with vectorized NumPy kernels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -76,7 +77,33 @@ class CSRAdjacency:
 
     def degrees(self) -> np.ndarray:
         """Degree of every node as an int64 array."""
-        return np.diff(self.indptr)
+        return self.degree_array
+
+    @cached_property
+    def degree_array(self) -> np.ndarray:
+        """Precomputed per-node degrees (read-only; built once per graph).
+
+        The expansion hot path indexes this every BFS level; computing
+        ``np.diff(indptr)`` per level would rebuild an |V|-sized array each
+        time.
+        """
+        degrees = np.diff(self.indptr)
+        degrees.setflags(write=False)
+        return degrees
+
+    @cached_property
+    def indices64(self) -> np.ndarray:
+        """``indices`` as int64 (read-only; cached on first use).
+
+        Fancy-index arithmetic in the vectorized kernel needs int64; the
+        stored indices are int32, so without this cache every expansion
+        level paid an O(|E|)-sized ``astype`` copy.
+        """
+        if self.indices.dtype == np.int64:
+            return self.indices
+        indices = self.indices.astype(np.int64)
+        indices.setflags(write=False)
+        return indices
 
     @property
     def nbytes(self) -> int:

@@ -79,6 +79,50 @@ def average_timers(timers: List[PhaseTimer]) -> Dict[str, float]:
 
 
 @dataclass
+class KernelCounters:
+    """Work counters of one (or several merged) fused-kernel invocations.
+
+    The fused expansion kernel reports how much flat-array work each BFS
+    level actually did — the quantities a GPU profiler would report as
+    threads launched vs. useful lanes:
+
+    Attributes:
+        sources_pruned: frontier nodes dropped by the eligibility
+            prefilter (no column hit at ≤ level) before adjacency gather.
+        edges_gathered: (frontier, neighbor) pairs materialized from CSR.
+        pairs_hit: unique (node, keyword) cells written this level.
+        duplicates_elided: scatter targets dropped by per-column
+            deduplication — parallel in-edges and shared hub neighbors
+            that the per-column implementation wrote once per edge.
+        pull_levels: BFS levels expanded in the pull (bottom-up)
+            direction instead of the push direction.
+    """
+
+    sources_pruned: int = 0
+    edges_gathered: int = 0
+    pairs_hit: int = 0
+    duplicates_elided: int = 0
+    pull_levels: int = 0
+
+    def add(self, other: "KernelCounters") -> None:
+        """Accumulate ``other`` in place (used to merge per-chunk counters)."""
+        self.sources_pruned += other.sources_pruned
+        self.edges_gathered += other.edges_gathered
+        self.pairs_hit += other.pairs_hit
+        self.duplicates_elided += other.duplicates_elided
+        self.pull_levels += other.pull_levels
+
+    def as_dict(self) -> "dict[str, int]":
+        return {
+            "sources_pruned": self.sources_pruned,
+            "edges_gathered": self.edges_gathered,
+            "pairs_hit": self.pairs_hit,
+            "duplicates_elided": self.duplicates_elided,
+            "pull_levels": self.pull_levels,
+        }
+
+
+@dataclass
 class StorageReport:
     """Table IV's two columns, in bytes.
 

@@ -1,0 +1,134 @@
+/* Native tier of the fused single-pass expansion kernel.
+ *
+ * One sequential pass over the chunk's CSR adjacency evaluates
+ * Algorithm 2 for all q <= 8 BFS instances at once, exactly like the
+ * NumPy byte-lane kernel in vectorized.py: a node's q boolean
+ * conditions live in one 64-bit word (lane i = instance i), the
+ * per-edge hit ballot is a single word AND, and every matrix write is
+ * an idempotent byte store of level + 1 into a previously-infinite
+ * cell.  Byte-granular stores are what keep Theorem V.2's lock-free
+ * argument intact when chunks of one frontier run concurrently: racing
+ * writers store the same constant, and a torn word *read* can only
+ * misclassify single bytes as already-written, which skips a duplicate
+ * claim, never a required one (the racing chunk claimed it).
+ *
+ * Because the matrix is read live (not from a pre-level snapshot), a
+ * cell is claimed exactly once per call, so the emitted keys are the
+ * deduplicated hit set by construction -- no scatter-then-readback
+ * pass, no (E x q) cell expansion.
+ *
+ * Compiled on demand by _native.py with the system C compiler; absent a
+ * compiler the NumPy kernel runs alone with identical semantics.
+ */
+
+#include <stdint.h>
+#include <string.h>
+
+/* Expand one frontier chunk at `level` (writing `next_level`).
+ *
+ *   n_chunk   rows of `chunk` / `se_words`
+ *   chunk     frontier node ids (already filtered: non-central, active,
+ *             eligible in at least one lane)
+ *   se_words  per-row eligibility lane words (byte lane i is 1 iff
+ *             M[u][i] <= level; pad lanes are always 0)
+ *   indptr    CSR row pointers (int64, n + 1)
+ *   indices   CSR neighbor ids (int32)
+ *   matrix    the (n x q) uint8 hitting-level matrix M, row-major
+ *   q         BFS instances (1..8)
+ *   blocked   per-node flag: non-keyword node still awaiting
+ *             activation at next_level (NULL when no node can block)
+ *   fid       FIdentifier flags (uint8, n)
+ *   out_keys  capacity for every possible hit (n * q is always enough)
+ *
+ * Returns the number of unique cell keys (node * q + lane) written to
+ * out_keys.
+ */
+int64_t fused_expand(
+    int64_t n_chunk,
+    const int64_t* chunk,
+    const uint64_t* se_words,
+    const int64_t* indptr,
+    const int32_t* indices,
+    uint8_t* matrix,
+    int64_t q,
+    const uint8_t* blocked,
+    uint8_t* fid,
+    uint8_t next_level,
+    int64_t* out_keys)
+{
+    const uint64_t LO7 = 0x7F7F7F7F7F7F7F7FULL;
+    const uint64_t LSB = 0x0101010101010101ULL;
+    const uint64_t MSB = 0x8080808080808080ULL;
+    int64_t n_keys = 0;
+
+    if (q == 8) {
+        /* Word path: M rows are exactly one lane word wide. */
+        for (int64_t i = 0; i < n_chunk; ++i) {
+            const uint64_t se = se_words[i];
+            const int64_t u = chunk[i];
+            int retry = 0;
+            const int64_t end = indptr[u + 1];
+            for (int64_t e = indptr[u]; e < end; ++e) {
+                const int64_t v = (int64_t)indices[e];
+                uint64_t m;
+                memcpy(&m, matrix + v * 8, 8);
+                /* 0x01 in every lane whose byte equals 0xFF (infinity):
+                 * low 7 bits all set (carry into bit 7) AND bit 7 set. */
+                const uint64_t inf = ((((m & LO7) + LSB) & m) & MSB) >> 7;
+                const uint64_t ballot = se & inf;
+                if (!ballot)
+                    continue;
+                if (blocked && blocked[v]) {
+                    /* Line 18-20: the source retries at a later level. */
+                    retry = 1;
+                    continue;
+                }
+                for (int c = 0; c < 8; ++c) {
+                    if ((ballot >> (8 * c)) & 1) {
+                        matrix[v * 8 + c] = next_level;
+                        out_keys[n_keys++] = v * 8 + c;
+                    }
+                }
+                fid[v] = 1;
+            }
+            if (retry)
+                fid[u] = 1;
+        }
+        return n_keys;
+    }
+
+    /* Byte path for q < 8: M rows are q bytes, narrower than the lane
+     * word, so cells are tested lane by lane. */
+    for (int64_t i = 0; i < n_chunk; ++i) {
+        const uint64_t se = se_words[i];
+        const int64_t u = chunk[i];
+        int retry = 0;
+        const int64_t end = indptr[u + 1];
+        for (int64_t e = indptr[u]; e < end; ++e) {
+            const int64_t v = (int64_t)indices[e];
+            uint8_t* row = matrix + v * q;
+            if (blocked && blocked[v]) {
+                for (int64_t c = 0; c < q; ++c) {
+                    if (((se >> (8 * c)) & 1) && row[c] == 0xFF) {
+                        retry = 1;
+                        break;
+                    }
+                }
+                continue;
+            }
+            int any = 0;
+            for (int64_t c = 0; c < q; ++c) {
+                if (((se >> (8 * c)) & 1) && row[c] == 0xFF) {
+                    row[c] = next_level;
+                    out_keys[n_keys++] = v * q + c;
+                    any = 1;
+                }
+            }
+            if (any)
+                fid[v] = 1;
+        }
+        if (retry)
+            fid[u] = 1;
+    }
+    return n_keys;
+}

@@ -9,6 +9,19 @@ applies Algorithm 2 to the current frontier.
 Backends must preserve the lock-free write discipline: only ever write
 ``1`` into FIdentifier and ``level + 1`` into M, so concurrent writers
 race benignly (Theorem V.2).
+
+Backends additionally keep ``state.finite_count`` exact — either by
+counting deduplicated hits (sequential inline, fused kernel via returned
+cell keys), by resynchronizing touched rows
+(:meth:`~repro.core.state.SearchState.refresh_finite_count`), or by
+opting out with
+:meth:`~repro.core.state.SearchState.invalidate_finite_count`, which
+makes Central Node identification fall back to the full row scan.
+
+Backends built on the fused kernel expose a ``last_counters`` attribute
+(:class:`~repro.instrumentation.KernelCounters`) describing the most
+recent level's flat-array work; the bottom-up loop forwards it to any
+attached :class:`~repro.core.trace.SearchTrace`.
 """
 
 from __future__ import annotations

@@ -214,6 +214,10 @@ class ProcessPoolBackend(ExpansionBackend):
         # Copy the mutated state back.
         state.matrix[:] = views["matrix"]
         state.f_identifier[:] = views["f_identifier"]
+        # Workers cannot maintain the incremental finite-cell counts
+        # (increments are not idempotent), so resynchronize the touched
+        # rows: every node whose M row changed was also flagged.
+        state.refresh_finite_count(np.flatnonzero(state.f_identifier))
 
     def close(self) -> None:
         self._pool.close()

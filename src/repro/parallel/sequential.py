@@ -38,6 +38,7 @@ def expand_frontier_chunk(
     c_identifier = state.c_identifier
     activation = state.activation
     keyword_node = state.keyword_node
+    finite_count = state.finite_count
     next_level = level + 1
     n_keywords = state.n_keywords
 
@@ -63,6 +64,9 @@ def expand_frontier_chunk(
                     continue
                 matrix[neighbor, column] = next_level
                 f_identifier[neighbor] = 1
+                # The ∞-guard above makes this exactly-once per cell, so
+                # the incremental finite-cell count stays exact.
+                finite_count[neighbor] += 1
 
 
 class SequentialBackend(ExpansionBackend):

@@ -3,99 +3,503 @@
 The paper's GPU kernel assigns one warp per (frontier, BFS instance) pair
 and one thread per neighbor; every thread does the same small amount of
 branch-light work on flat arrays. NumPy whole-array kernels are the same
-computational model executed on the CPU's SIMD units: the frontier's
-neighbor ranges are gathered into one flat array and each Algorithm 2
-condition becomes a boolean mask.
+computational model executed on the CPU's SIMD units.
+
+This module implements that model as a **fused single-pass kernel**: one
+pass over the frontier's flattened edge list evaluates Algorithm 2 for
+*all* q BFS instances at once. Where the first-generation backend looped
+``for column in range(q)`` and re-scanned every edge per keyword, the
+fused kernel
+
+1. **prefilters** the frontier to sources eligible in at least one
+   column before touching the adjacency (a hub whose M row has no entry
+   ≤ level would pay a full CSR gather for nothing),
+2. gathers each Algorithm 2 condition as a fused **(E × q)** boolean
+   block — eligible (line 9-11), unvisited (line 14-15), blocked
+   (line 18-20), hit (line 21-22) — instead of q sequential 1-D passes,
+3. **deduplicates scatter targets** per (node, column) cell, so a
+   high-degree summary hub reached through hundreds of in-edges is
+   written once, not once per edge.
+
+The (E × q) block is exactly the warp grid of the paper's kernel: edge
+index = warp lane, column = BFS-instance slot; each cell is one GPU
+thread's worth of branch-light work.
 
 Writes remain idempotent scatter-stores (``M[hit, i] = level + 1``,
 ``FIdentifier[...] = 1``), so the semantics match the lock-free kernel
-exactly; duplicate indices in a scatter simply write the same value twice,
-NumPy's equivalent of the paper's benign write races.
+exactly; duplicate indices across concurrent chunk invocations simply
+write the same value twice, NumPy's equivalent of the paper's benign
+write races. Because targets are deduplicated *within* a chunk, the
+kernel can also report the unique cells it hit, which lets callers keep
+``SearchState.finite_count`` exact without locks (the coordinating
+thread merges and deduplicates the per-chunk reports).
+
+Two tiers execute the same algorithm: the whole-array NumPy kernel
+below (always available), and an on-demand compiled C translation of
+its lane-word loop (:mod:`repro.parallel._native` / ``_kernel.c``) that
+removes the residual per-pass interpreter and memory-traffic overhead —
+the CPU analogue of the paper's native engines. Dispatch is automatic
+and silent; ``REPRO_NATIVE_KERNEL=0`` or ``native=False`` pin the NumPy
+tier.
 """
 
 from __future__ import annotations
+
+import sys
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..core.state import INFINITE_LEVEL, SearchState
 from ..graph.csr import KnowledgeGraph
+from ..instrumentation import KernelCounters
 from .backend import ExpansionBackend
 
+_EMPTY_KEYS = np.empty(0, dtype=np.int64)
 
-def _gather_neighbor_arrays(
+#: Byte-lane (SWAR) ballots assume lane 0 is the lowest-address byte of
+#: the word, i.e. a little-endian host. Big-endian hosts take the
+#: unpacked path.
+_LANES = 8
+_LANE_SWAR_OK = sys.byteorder == "little"
+
+#: Lazily probed native kernel: ``None`` = not probed yet, ``False`` =
+#: unavailable (no compiler / disabled), else a loaded NativeKernel.
+_NATIVE_KERNEL: "object" = None
+
+
+def _native_kernel():
+    """The compiled C kernel, or ``None`` when it cannot be used."""
+    global _NATIVE_KERNEL
+    if _NATIVE_KERNEL is None:
+        from . import _native
+
+        _NATIVE_KERNEL = _native.load_kernel() or False
+    return _NATIVE_KERNEL or None
+
+
+def _lane_pack(bools: np.ndarray) -> np.ndarray:
+    """View q ≤ 8 boolean columns per row as one uint64 lane word.
+
+    Pads to 8 byte-lanes when q < 8 (pad lanes stay 0 and can never
+    ballot), then reinterprets each row's 8 bytes as a single ``uint64``
+    — no per-bit packing, just a zero-copy view of the padded block.
+    """
+    rows, q = bools.shape
+    if q == _LANES:
+        lanes = np.ascontiguousarray(bools)
+    else:
+        lanes = np.zeros((rows, _LANES), dtype=bool)
+        lanes[:, :q] = bools
+    return lanes.view(np.uint64).ravel()
+
+
+def _keys_to_rows(keys: np.ndarray, q: int) -> np.ndarray:
+    """Map flat cell keys ``node * q + column`` back to node rows.
+
+    ``q`` is a runtime value, so NumPy's integer division cannot be
+    strength-reduced at compile time; the ubiquitous q = 8 case gets the
+    shift it deserves.
+    """
+    if q == 8:
+        return keys >> 3
+    return keys // q
+
+
+def _gather_neighbors(
     graph: KnowledgeGraph, frontier: np.ndarray
-) -> "tuple[np.ndarray, np.ndarray]":
-    """Flatten the frontier's adjacency lists.
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten the frontier's adjacency lists into one neighbor array.
+
+    Returns ``(neighbors, offsets)``: one neighbor entry per (frontier
+    node, neighbor) pair in CSR order, plus each frontier node's segment
+    start in that flat array (the ``reduceat`` offsets for per-source
+    aggregation). Uses the graph's cached int64 index view and
+    precomputed degrees, so no per-call ``astype`` copy or ``indptr``
+    diff is paid.
+    """
+    adj = graph.adj
+    starts = adj.indptr[frontier]
+    degrees = adj.degree_array[frontier]
+    total = int(degrees.sum())
+    offsets = np.concatenate(([0], np.cumsum(degrees)[:-1]))
+    if total == 0:
+        return np.empty(0, dtype=np.int64), offsets
+    positions = np.repeat(starts - offsets, degrees) + np.arange(total)
+    return adj.indices64[positions], offsets
+
+
+def fused_expand_chunk(
+    graph: KnowledgeGraph,
+    state: SearchState,
+    level: int,
+    chunk: np.ndarray,
+    counters: Optional[KernelCounters] = None,
+    native: Optional[bool] = None,
+) -> np.ndarray:
+    """Algorithm 2 over ``chunk`` of the frontier, all keywords fused.
+
+    Mutates ``state.matrix`` / ``state.f_identifier`` with idempotent
+    writes only (safe to run concurrently on disjoint chunks) and does
+    **not** touch ``state.finite_count`` — instead it returns the unique
+    flat cell keys ``node * q + column`` it wrote, so single-threaded
+    callers can apply them directly and multi-chunk callers can merge,
+    deduplicate cells claimed by racing chunks, and apply them race-free.
+
+    For q ≤ 8 instances the (E × q) grid is carried as *byte lanes*:
+    each node's q boolean conditions live in one uint64 word (lane i =
+    instance i), so the per-edge hit test — source eligible AND target
+    still ∞ — is a single word AND, the CPU image of a warp's ballot
+    register. Saturated neighbors (all-zero ∞ word) drop out of the
+    ballot for free, and only lanes of hitting edges are ever expanded
+    back to (node, column) cells. Dedup never sorts and never touches
+    per-edge data: duplicate cell writes are idempotent, so the kernel
+    scatters first and then reads the unique hit set straight off the
+    matrix ("was ∞, is now level+1") in one O(n·q) pass. (2-D
+    ``np.nonzero`` over the unpacked grid and ``np.unique`` over hit
+    keys were the two most expensive operations of earlier revisions.)
+    Queries with more than 8 keywords take an unpacked (E × q) fallback
+    with identical semantics.
+
+    When the on-demand compiled C tier is available
+    (:mod:`repro.parallel._native`), the lane-word loop runs there
+    instead: same algorithm, one C pass over the chunk's CSR segment,
+    with the matrix read live so the emitted keys are deduplicated by
+    construction (``duplicates_elided`` stays 0 — duplicates never
+    materialize). The GIL is released during the call, so concurrent
+    chunks overlap on real cores.
+
+    Args:
+        counters: optional accumulator for per-level kernel statistics.
+        native: ``False`` forces the pure-NumPy kernel, ``None``/``True``
+            use the compiled tier when available.
 
     Returns:
-        ``(sources, neighbors)`` — parallel arrays with one entry per
-        (frontier node, neighbor) pair, in CSR order.
+        int64 array of unique ``node * q + column`` keys hit by this call.
     """
-    indptr = graph.adj.indptr
-    starts = indptr[frontier]
-    degrees = indptr[frontier + 1] - starts
+    matrix = state.matrix
+    f_identifier = state.f_identifier
+    activation = state.activation
+    q = state.n_keywords
+    next_level = level + 1
+    lanes = q <= _LANES and _LANE_SWAR_OK
+
+    # Line 2-3: identified Central Nodes never expand.
+    chunk = chunk[state.c_identifier[chunk] == 0]
+    if len(chunk) == 0:
+        return _EMPTY_KEYS
+    # Line 5-7: inactive frontiers re-flag themselves and wait.
+    inactive = activation[chunk] > level
+    if inactive.any():
+        f_identifier[chunk[inactive]] = 1
+        chunk = chunk[~inactive]
+        if len(chunk) == 0:
+            return _EMPTY_KEYS
+
+    # Eligibility prefilter (line 9-11 hoisted above the gather): only
+    # sources hit at ≤ level in at least one instance expand at all.
+    source_eligible = matrix[chunk] <= level
+    se_words = None
+    if lanes:
+        se_words = _lane_pack(source_eligible)
+        any_eligible = se_words != 0
+    else:
+        any_eligible = source_eligible.any(axis=1)
+    if not any_eligible.all():
+        if counters is not None:
+            counters.sources_pruned += int(len(chunk) - any_eligible.sum())
+        chunk = chunk[any_eligible]
+        if len(chunk) == 0:
+            return _EMPTY_KEYS
+        source_eligible = source_eligible[any_eligible]
+        if lanes:
+            se_words = se_words[any_eligible]
+
+    # Does any node still await activation at next_level? When not (the
+    # common case past the first levels), the blocked test is skipped.
+    may_block = int(activation.max()) > next_level
+
+    if lanes and matrix.flags.c_contiguous and native is not False:
+        kernel = _native_kernel()
+        if kernel is not None:
+            adj = graph.adj
+            if counters is not None:
+                counters.edges_gathered += int(adj.degree_array[chunk].sum())
+            blocked = None
+            if may_block:
+                blocked = (
+                    ~state.keyword_node & (activation > next_level)
+                ).view(np.uint8)
+            out_keys = np.empty(matrix.size, dtype=np.int64)
+            count = kernel.expand(
+                np.ascontiguousarray(chunk),
+                se_words,
+                adj.indptr,
+                adj.indices,
+                matrix.reshape(-1),
+                q,
+                blocked,
+                f_identifier,
+                next_level,
+                out_keys,
+            )
+            if counters is not None:
+                counters.pairs_hit += count
+            return out_keys[:count]
+
+    neighbors, offsets = _gather_neighbors(graph, chunk)
+    n_edges = len(neighbors)
+    if n_edges == 0:
+        return _EMPTY_KEYS
+    if counters is not None:
+        counters.edges_gathered += n_edges
+    degrees = graph.adj.degree_array[chunk]
+
+    # Pre-level ∞ snapshot; doubles as the reference for reading the
+    # unique hit set back off the matrix after the scatter.
+    was_infinite = matrix == INFINITE_LEVEL
+
+    if lanes:
+        inf_words = _lane_pack(was_infinite)
+        if may_block:
+            # Line 18-20 without per-edge branching: a blocked neighbor
+            # (inactive non-keyword) blocks *every* instance, so its ∞
+            # lanes are zeroed out of the availability words up front —
+            # blocked targets then drop out of the ballot exactly like
+            # saturated ones.
+            blocked_nodes = ~state.keyword_node & (activation > next_level)
+            avail_words = np.where(blocked_nodes, 0, inf_words)
+            # The retry half of line 18-20: a source stays in the
+            # frontier iff one of its eligible instances found a blocked
+            # ∞ cell next door. Per-source OR over its own CSR segment
+            # (one reduceat), then one word AND against eligibility.
+            blocked_inf = np.where(blocked_nodes, inf_words, 0)
+            gathered = blocked_inf[neighbors]
+            if gathered.any():
+                # reduceat misreads empty segments (and rejects offsets
+                # == n_edges), so clip and mask degree-0 sources.
+                retry_words = np.bitwise_or.reduceat(
+                    gathered, np.minimum(offsets, n_edges - 1)
+                )
+                retry = ((se_words & retry_words) != 0) & (degrees > 0)
+                if retry.any():
+                    f_identifier[chunk[retry]] = 1
+        else:
+            avail_words = inf_words
+        # Per-edge hit ballot: one word AND per edge covers all q
+        # instances. Lane bytes are 0/1 bools, so the ballot word's
+        # non-zero byte-lanes are exactly the hit (edge, instance) cells.
+        ballot = np.repeat(se_words, degrees) & avail_words[neighbors]
+        hit_edges = np.flatnonzero(ballot)
+        if len(hit_edges) == 0:
+            return _EMPTY_KEYS
+        # Scatter per lane: the hit words' bytes, viewed as a (hits × 8)
+        # block, select each instance's target rows without ever
+        # expanding the full (E × q) grid to cell indices.
+        hit_bytes = ballot[hit_edges].view(np.uint8).reshape(-1, _LANES)
+        hit_targets = neighbors[hit_edges]
+        scattered = 0
+        for column in range(q):
+            rows = hit_targets[hit_bytes[:, column] != 0]
+            if len(rows):
+                matrix[rows, column] = next_level
+                scattered += len(rows)
+    else:
+        # Unpacked (E × q) grid for wide queries: same conditions as the
+        # ballot path, one boolean block per condition.
+        erow = np.repeat(np.arange(len(chunk)), degrees)
+        hits = source_eligible[erow] & was_infinite[neighbors]
+        if may_block:
+            blocked = ~state.keyword_node[neighbors] & (
+                activation[neighbors] > next_level
+            )
+            if blocked.any():
+                retry = hits.any(axis=1) & blocked
+                if retry.any():
+                    f_identifier[chunk[erow[retry]]] = 1
+                hits &= ~blocked[:, None]
+        flat = np.flatnonzero(hits)
+        if len(flat) == 0:
+            return _EMPTY_KEYS
+        edge_idx, col_idx = np.divmod(flat, q)
+        keys = neighbors[edge_idx] * q + col_idx
+
+        # Line 21-22: scatter with duplicates — every write stores the
+        # same level + 1 into a previously-∞ cell, so repeats are
+        # idempotent.
+        if matrix.flags.c_contiguous:
+            # The cell keys double as flat scatter indices into the
+            # (n × q) row-major matrix.
+            matrix.ravel()[keys] = next_level
+        else:  # pragma: no cover - states are always built C-contiguous
+            matrix[keys // q, keys % q] = next_level
+        scattered = len(keys)
+
+    # Read the unique hit set back off the matrix in one O(n·q) pass: a
+    # cell was hit by this call iff it was ∞ at entry and is level + 1
+    # now — duplicate scatter targets collapse without any sort.
+    unique_keys = np.flatnonzero(
+        was_infinite.ravel() & (matrix.ravel() == next_level)
+    )
+    if counters is not None:
+        counters.pairs_hit += len(unique_keys)
+        counters.duplicates_elided += scattered - len(unique_keys)
+    f_identifier[_keys_to_rows(unique_keys, q)] = 1
+    return unique_keys
+
+
+def apply_hit_keys(state: SearchState, keys: np.ndarray) -> None:
+    """Advance ``finite_count`` for deduplicated cell keys."""
+    if len(keys):
+        state.record_hits(_keys_to_rows(keys, state.n_keywords))
+
+
+def pull_expand(
+    graph: KnowledgeGraph,
+    state: SearchState,
+    level: int,
+    counters: Optional[KernelCounters] = None,
+) -> np.ndarray:
+    """One direction-optimized *pull* pass (Beamer-style bottom-up step).
+
+    Instead of pushing every frontier node's lanes along its out-edges,
+    each still-unsaturated node *pulls*: it ORs the eligibility words of
+    its neighbors (one ``bitwise_or.reduceat`` over its CSR segment) and
+    ANDs the result with its own ∞ lanes. ``finite_count`` gives the
+    candidate set in one 1-D compare, and every produced (node, column)
+    key is unique by construction — no per-edge cell expansion, no
+    dedup, no scatter conflicts. The bi-directed ``adj`` union makes a
+    node's out-list identical to its in-list, which is what lets the
+    pull direction reuse the same CSR.
+
+    Only valid when no node is still awaiting activation at
+    ``level + 1`` (so the blocked/retry protocol of Algorithm 2 line
+    18-20 cannot trigger now or at any later level) — callers go
+    through :meth:`VectorizedBackend.expand`, which checks this along
+    with the cost crossover. Deferred inactive frontiers are re-flagged
+    exactly as the push kernel's line 5-7 would, so a later switch back
+    to push sees an identical frontier.
+
+    Returns:
+        int64 array of unique ``node * q + column`` keys hit.
+    """
+    matrix = state.matrix
+    f_identifier = state.f_identifier
+    activation = state.activation
+    q = state.n_keywords
+    next_level = level + 1
+    adj = graph.adj
+
+    # Line 5-7 for the frontier we are not walking.
+    frontier = state.frontier
+    inactive = activation[frontier] > level
+    if inactive.any():
+        f_identifier[frontier[inactive]] = 1
+
+    candidates = np.flatnonzero(state.finite_count < q)
+    degrees = adj.degree_array[candidates]
+    nonzero = degrees > 0
+    if not nonzero.all():
+        candidates = candidates[nonzero]
+        degrees = degrees[nonzero]
+    if len(candidates) == 0:
+        return _EMPTY_KEYS
+
+    # Eligibility words of every potential source; central nodes and
+    # still-inactive nodes never expand (line 2-3 / 5-7).
+    se_words = _lane_pack(matrix <= level)
+    se_words[(state.c_identifier != 0) | (activation > level)] = 0
+
+    starts = adj.indptr[candidates]
     total = int(degrees.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty
     offsets = np.concatenate(([0], np.cumsum(degrees)[:-1]))
     positions = np.repeat(starts - offsets, degrees) + np.arange(total)
-    neighbors = graph.adj.indices[positions].astype(np.int64)
-    sources = np.repeat(frontier, degrees)
-    return sources, neighbors
+    if counters is not None:
+        counters.edges_gathered += total
+        counters.pull_levels += 1
+    incoming = np.bitwise_or.reduceat(se_words[adj.indices64[positions]], offsets)
+    ballots = incoming & _lane_pack(matrix[candidates] == INFINITE_LEVEL)
+    flat = np.flatnonzero(ballots.view(np.bool_))
+    if len(flat) == 0:
+        return _EMPTY_KEYS
+    hit_nodes = candidates[flat >> 3]
+    col_idx = flat & 7
+    keys = hit_nodes * q + col_idx
+    if counters is not None:
+        counters.pairs_hit += len(keys)
+    if matrix.flags.c_contiguous:
+        matrix.ravel()[keys] = next_level
+    else:  # pragma: no cover - states are always built C-contiguous
+        matrix[hit_nodes, col_idx] = next_level
+    f_identifier[hit_nodes] = 1
+    return keys
 
 
 class VectorizedBackend(ExpansionBackend):
-    """Data-parallel expansion over flat frontier/neighbor arrays."""
+    """Data-parallel expansion over the fused single-pass kernel.
+
+    Direction-optimizing: each level runs either the push kernel
+    (:func:`fused_expand_chunk`) or the pull pass (:func:`pull_expand`),
+    whichever scans fewer edges — classic bottom-up BFS switching, fused
+    across all q instances. Pull is only legal once every node's
+    activation level has been reached (no blocked/retry protocol left)
+    and while the incremental finite counts are exact.
+
+    After each :meth:`expand`, :attr:`last_counters` holds the kernel
+    work counters of that level (edges gathered, unique cells hit,
+    duplicates elided, prefiltered sources, pull levels taken).
+
+    Args:
+        pull_ratio: take the pull direction when its edge scan is
+            cheaper than ``pull_ratio`` times the push scan. Pull does
+            strictly less work per edge (no cell expansion, no dedup),
+            so the crossover sits above 1; 0 disables pull entirely.
+        native: ``False`` pins the backend to the pure-NumPy kernel
+            (A/B benchmarking, parity tests); ``None`` uses the compiled
+            C tier whenever it is available.
+    """
 
     name = "vectorized"
+
+    def __init__(
+        self, pull_ratio: float = 1.5, native: Optional[bool] = None
+    ) -> None:
+        self.pull_ratio = pull_ratio
+        self.native = native
+        self.last_counters: Optional[KernelCounters] = None
+
+    def _should_pull(
+        self, graph: KnowledgeGraph, state: SearchState, level: int
+    ) -> bool:
+        if self.pull_ratio <= 0:
+            return False
+        # The compiled push kernel beats the NumPy pull pass per edge;
+        # direction switching only pays off between same-tier kernels.
+        if self.native is not False and _native_kernel() is not None:
+            return False
+        if state.n_keywords > _LANES or not _LANE_SWAR_OK:
+            return False
+        if not state.finite_count_usable():
+            return False
+        # Any node still awaiting activation re-introduces the blocked /
+        # retry protocol, which only the push kernel implements.
+        if int(state.activation.max()) > level + 1:
+            return False
+        degree_array = graph.adj.degree_array
+        push_edges = int(degree_array[state.frontier].sum())
+        pull_edges = int(degree_array[state.finite_count < state.n_keywords].sum())
+        return pull_edges < push_edges * self.pull_ratio
 
     def expand(self, graph: KnowledgeGraph, state: SearchState, level: int) -> None:
         frontier = state.frontier
         if len(frontier) == 0:
             return
-        matrix = state.matrix
-        f_identifier = state.f_identifier
-        activation = state.activation
-        next_level = level + 1
-
-        # Line 2-3: identified Central Nodes never expand.
-        frontier = frontier[state.c_identifier[frontier] == 0]
-        if len(frontier) == 0:
-            return
-        # Line 5-7: inactive frontiers re-flag themselves and wait.
-        inactive = activation[frontier] > level
-        f_identifier[frontier[inactive]] = 1
-        frontier = frontier[~inactive]
-        if len(frontier) == 0:
-            return
-
-        sources, neighbors = _gather_neighbor_arrays(graph, frontier)
-        if len(sources) == 0:
-            return
-        neighbor_is_keyword = state.keyword_node[neighbors]
-        neighbor_blocked = ~neighbor_is_keyword & (
-            activation[neighbors] > next_level
-        )
-
-        for column in range(state.n_keywords):
-            # Line 9-11: the source must already be hit at level ≤ l in B_i.
-            eligible = matrix[sources, column] <= level
-            if not eligible.any():
-                continue
-            # Line 14-15: only unvisited neighbors can be hit.
-            unvisited = matrix[neighbors, column] == INFINITE_LEVEL
-            active_pairs = eligible & unvisited
-            if not active_pairs.any():
-                continue
-            # Line 18-20: inactive non-keyword neighbors keep the source
-            # in the frontier for a retry at a later level.
-            blocked_pairs = active_pairs & neighbor_blocked
-            if blocked_pairs.any():
-                f_identifier[sources[blocked_pairs]] = 1
-            # Line 21-22: hit the remaining neighbors.
-            hit_pairs = active_pairs & ~neighbor_blocked
-            if hit_pairs.any():
-                hit = neighbors[hit_pairs]
-                matrix[hit, column] = next_level
-                f_identifier[hit] = 1
+        counters = KernelCounters()
+        if self._should_pull(graph, state, level):
+            keys = pull_expand(graph, state, level, counters)
+        else:
+            keys = fused_expand_chunk(
+                graph, state, level, frontier, counters, native=self.native
+            )
+        apply_hit_keys(state, keys)
+        self.last_counters = counters

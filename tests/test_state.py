@@ -93,3 +93,31 @@ def test_nbytes_accounts_matrix_and_flags():
     state = _state()
     total = state.nbytes()
     assert total >= state.matrix.nbytes + 2 * state.n_nodes
+
+
+def test_nbytes_is_exact_sum_of_dynamic_arrays():
+    """Table IV accounting: every per-query array counts, nothing else.
+
+    The seed undercounted by omitting ``central_level`` (int16) and the
+    per-query ``activation`` mapping (int32); pin the exact sum so any
+    future array addition must be accounted for deliberately.
+    """
+    state = _state(n=50, sets=((0, 1), (2,), (3, 4, 5)))
+    state.enqueue_frontiers()
+    expected = sum(
+        array.nbytes
+        for array in (
+            state.matrix,
+            state.f_identifier,
+            state.c_identifier,
+            state.keyword_node,
+            state.central_level,
+            state.activation,
+            state.finite_count,
+            state.frontier,
+        )
+    )
+    assert state.nbytes() == expected
+    # central_level (2 B) and activation (4 B) are per-node and were the
+    # seed's undercount; the total must reflect them.
+    assert state.nbytes() >= state.matrix.nbytes + (1 + 1 + 1 + 2 + 4 + 4) * 50
