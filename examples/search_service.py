@@ -50,6 +50,25 @@ def main(serve_forever: bool = False) -> None:
         else:
             print(f"  {payload}")
 
+    # Observability endpoints: Prometheus text and the JSON stat view.
+    with urllib.request.urlopen(
+        f"http://{host}:{port}/metrics", timeout=30
+    ) as response:
+        metrics_lines = response.read().decode("utf-8").splitlines()
+    request_lines = [
+        line for line in metrics_lines
+        if line.startswith("repro_http_requests_total")
+    ]
+    print(f"\nGET /metrics -> {len(metrics_lines)} lines, e.g.:")
+    for line in request_lines[:3]:
+        print(f"  {line}")
+    with urllib.request.urlopen(
+        f"http://{host}:{port}/statz", timeout=30
+    ) as response:
+        statz = json.loads(response.read())
+    print(f"GET /statz -> requests by endpoint: "
+          f"{statz['service']['requests_by_endpoint']}")
+
     if serve_forever:
         print("\nserving until Ctrl-C ...")
         try:

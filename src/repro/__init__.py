@@ -26,6 +26,7 @@ from .core.engine import (
 )
 from .graph.builder import GraphBuilder, graph_from_triples
 from .graph.csr import KnowledgeGraph
+from .obs import MetricsRegistry, Tracer, get_registry
 from .parallel import (
     LockedDictEngine,
     ProcessPoolBackend,
@@ -48,12 +49,15 @@ __all__ = [
     "KeywordSearchEngine",
     "KnowledgeGraph",
     "LockedDictEngine",
+    "MetricsRegistry",
     "ProcessPoolBackend",
     "SearchAnswer",
     "SearchResult",
     "SequentialBackend",
     "ThreadPoolBackend",
+    "Tracer",
     "VectorizedBackend",
+    "get_registry",
     "graph_from_triples",
     "__version__",
 ]

@@ -10,7 +10,10 @@ Commands:
   optionally with predicate-level explanations or GraphViz DOT output;
 * ``bench``    — a quick single-machine profile (mini Fig. 6 row);
 * ``bench-kernel`` — fused-kernel vs. seed per-column expansion
-  microbenchmark, written to ``BENCH_kernel.json``.
+  microbenchmark, written to ``BENCH_kernel.json``;
+* ``profile``  — run one query under the span tracer and emit a Chrome
+  trace-event JSON (open in Perfetto / ``chrome://tracing``) or a text
+  flame summary.
 
 Examples::
 
@@ -18,6 +21,7 @@ Examples::
     python -m repro search --graph /tmp/kb "sql rdf knowledge" -k 5
     python -m repro search "machine translation" --explain
     python -m repro bench --knum 4
+    python -m repro profile "sql rdf" --trace trace.json --format chrome
 """
 
 from __future__ import annotations
@@ -84,6 +88,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="print predicate-level explanations")
     search.add_argument("--dot", metavar="FILE",
                         help="write the top answer as GraphViz DOT")
+    search.add_argument("--trace", metavar="FILE",
+                        help="also record spans and write a Chrome "
+                             "trace-event JSON to FILE")
 
     bench = commands.add_parser("bench", help="quick single-machine profile")
     bench.add_argument("--graph", help="saved graph path (default: generate)")
@@ -107,6 +114,24 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_kernel.add_argument(
         "--out", default="BENCH_kernel.json",
         help="result JSON path ('' skips writing)",
+    )
+
+    profile = commands.add_parser(
+        "profile",
+        help="trace one query (Chrome trace JSON / flame summary)",
+    )
+    profile.add_argument("query", help='query string; quotes mark phrases')
+    profile.add_argument("--graph", help="saved graph path (default: generate)")
+    profile.add_argument("-k", "--topk", type=int, default=5)
+    profile.add_argument("--alpha", type=float, default=0.1)
+    profile.add_argument("--backend", choices=sorted(_BACKENDS),
+                         default="vectorized")
+    profile.add_argument("--trace", metavar="FILE",
+                         help="write the Chrome trace-event JSON here")
+    profile.add_argument(
+        "--format", choices=("chrome", "summary"), default="chrome",
+        help="what to print: the Chrome trace JSON (default) or a "
+             "text flame summary",
     )
 
     serve = commands.add_parser(
@@ -189,9 +214,15 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_search(args: argparse.Namespace) -> int:
     graph, index = _load_or_generate(args.graph)
     backend = _BACKENDS[args.backend]()
+    tracer = None
+    if args.trace:
+        from .obs.tracing import Tracer
+
+        tracer = Tracer(enabled=True)
     engine = KeywordSearchEngine(
         graph, backend=backend, index=index,
         config=EngineConfig(topk=args.topk, alpha=args.alpha),
+        tracer=tracer,
     )
     try:
         result = engine.search(args.query, k=args.topk, alpha=args.alpha)
@@ -226,23 +257,62 @@ def _cmd_search(args: argparse.Namespace) -> int:
         with open(args.dot, "w", encoding="utf-8") as handle:
             handle.write(dot + "\n")
         print(f"wrote GraphViz DOT of the top answer to {args.dot}")
+    if tracer is not None:
+        tracer.write_chrome_trace(args.trace)
+        print(f"wrote Chrome trace ({len(tracer.finished_spans())} spans) "
+              f"to {args.trace}")
     return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .eval.queries import KeywordWorkload
-    from .instrumentation import average_timers
+    from .instrumentation import summarize_timers
 
     graph, index = _load_or_generate(args.graph)
     engine = KeywordSearchEngine(graph, backend=VectorizedBackend(), index=index)
     workload = KeywordWorkload(index, seed=0)
     queries = workload.sample_queries(args.knum, args.queries)
     timers = [engine.search(query).timer for query in queries]
-    averaged = average_timers(timers)
+    summary = summarize_timers(timers)
     print(f"{args.queries} queries x {args.knum} keywords "
           f"on {graph.n_nodes} nodes (vectorized backend):")
-    for phase, value in averaged.items():
-        print(f"  {phase:28} {value:8.2f} ms")
+    for phase, stats in summary.items():
+        print(f"  {phase:28} {stats.mean_ms:8.2f} ms "
+              f"(n={stats.count}/{stats.n_timers})")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.tracing import Tracer
+
+    graph, index = _load_or_generate(args.graph)
+    backend = _BACKENDS[args.backend]()
+    tracer = Tracer(enabled=True)
+    engine = KeywordSearchEngine(
+        graph, backend=backend, index=index,
+        config=EngineConfig(topk=args.topk, alpha=args.alpha),
+        tracer=tracer,
+    )
+    try:
+        result = engine.search(args.query, k=args.topk, alpha=args.alpha)
+    except EmptyQueryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        backend.close()
+    ms = result.milliseconds()
+    print(f"{len(result.answers)} answers in {ms['total']:.1f} ms "
+          f"(d={result.depth}, {result.n_central_nodes} central nodes, "
+          f"{len(tracer.finished_spans())} spans)", file=sys.stderr)
+    if args.trace:
+        tracer.write_chrome_trace(args.trace)
+        print(f"wrote Chrome trace to {args.trace}", file=sys.stderr)
+    if args.format == "summary":
+        print(tracer.flame_summary())
+    else:
+        print(json.dumps(tracer.to_chrome_trace(), indent=2))
     return 0
 
 
@@ -315,6 +385,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "search": _cmd_search,
         "bench": _cmd_bench,
         "bench-kernel": _cmd_bench_kernel,
+        "profile": _cmd_profile,
         "serve": _cmd_serve,
     }
     return handlers[args.command](args)

@@ -29,6 +29,7 @@ from ..instrumentation import (
     PhaseTimer,
 )
 from ..graph.csr import KnowledgeGraph
+from ..obs.tracing import NULL_CONTEXT, NULL_TRACER, Tracer
 from ..parallel.backend import ExpansionBackend
 from ..parallel.sequential import SequentialBackend
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -64,6 +65,15 @@ class LevelProfile:
     edges_scanned: int
     new_hits: int
     new_central: int
+
+    def as_span_attributes(self) -> "dict[str, int]":
+        """The profile as flat span attributes (Chrome trace ``args``)."""
+        return {
+            "frontier_size": self.frontier_size,
+            "edges_scanned": self.edges_scanned,
+            "new_hits": self.new_hits,
+            "new_central": self.new_central,
+        }
 
 
 @dataclass
@@ -126,6 +136,7 @@ class BottomUpSearch:
         k: int,
         timer: Optional[PhaseTimer] = None,
         observer: Optional["SearchTrace"] = None,
+        tracer: Optional[Tracer] = None,
     ) -> BottomUpResult:
         """Search until at least ``k`` Central Nodes are identified.
 
@@ -137,6 +148,10 @@ class BottomUpSearch:
                 depth ≤ d for the smallest sufficient d (Definition 4).
             observer: optional :class:`repro.core.trace.SearchTrace`-like
                 object receiving per-level callbacks.
+            tracer: optional span tracer; when enabled, each BFS level
+                runs inside a ``level`` span carrying the level profile
+                and kernel counters as attributes, and the backend is
+                pointed at the tracer so pool chunks attach child spans.
 
         Raises:
             ValueError: if ``k < 1`` or any keyword set is empty.
@@ -150,6 +165,9 @@ class BottomUpSearch:
                     "drop unmatched keywords before searching"
                 )
         timer = timer or PhaseTimer()
+        tracer = tracer if tracer is not None else NULL_TRACER
+        trace_on = tracer.enabled
+        self.backend.tracer = tracer
         # Seed every loop phase so short-circuited searches (e.g. all
         # sources already central at level 0) still report a full profile.
         for phase in (PHASE_ENQUEUE, PHASE_IDENTIFY, PHASE_EXPANSION):
@@ -168,55 +186,67 @@ class BottomUpSearch:
         profile: List[LevelProfile] = []
         degree_array = self.graph.adj.degree_array
         while level <= self.lmax:
-            with timer.phase(PHASE_ENQUEUE):
-                n_frontier = state.enqueue_frontiers()
-            if n_frontier == 0:
-                terminated = TERMINATED_FRONTIER_EMPTY
-                break
-            if observer is not None:
-                observer.on_level_start(level, n_frontier)
-            with timer.phase(PHASE_IDENTIFY):
-                found = state.identify_central_nodes(level)
-            if observer is not None and found:
-                observer.on_central_nodes(found)
-            record = LevelProfile(
-                level=level,
-                frontier_size=n_frontier,
-                edges_scanned=0,
-                new_hits=0,
-                new_central=len(found),
+            level_ctx = (
+                tracer.span("level", level=level) if trace_on else NULL_CONTEXT
             )
-            profile.append(record)
-            if state.n_central_nodes >= k:
-                terminated = TERMINATED_ENOUGH_ANSWERS
-                break
-            if level == self.lmax:
-                break
-            if hasattr(self.backend, "last_counters"):
-                self.backend.last_counters = None
-            with timer.phase(PHASE_EXPANSION):
-                self.backend.expand(self.graph, state, level)
-            counters: Optional[KernelCounters] = getattr(
-                self.backend, "last_counters", None
-            )
-            now_finite = state.total_finite_cells()
-            record.new_hits = now_finite - finite_cells
-            finite_cells = now_finite
-            if counters is not None:
-                record.edges_scanned = counters.edges_gathered
-            else:
-                record.edges_scanned = int(
-                    degree_array[state.frontier].sum()
+            with level_ctx as level_span:
+                with timer.phase(PHASE_ENQUEUE):
+                    n_frontier = state.enqueue_frontiers()
+                if n_frontier == 0:
+                    terminated = TERMINATED_FRONTIER_EMPTY
+                    break
+                if observer is not None:
+                    observer.on_level_start(level, n_frontier)
+                with timer.phase(PHASE_IDENTIFY):
+                    found = state.identify_central_nodes(level)
+                if observer is not None and found:
+                    observer.on_central_nodes(found)
+                record = LevelProfile(
+                    level=level,
+                    frontier_size=n_frontier,
+                    edges_scanned=0,
+                    new_hits=0,
+                    new_central=len(found),
                 )
-            if observer is not None:
-                observer.on_expansion_done(record.new_hits)
-                if counters is not None and hasattr(
-                    observer, "on_kernel_counters"
-                ):
-                    observer.on_kernel_counters(counters)
-            levels_executed += 1
-            peak_nbytes = max(peak_nbytes, state.nbytes())
-            level += 1
+                profile.append(record)
+                if state.n_central_nodes >= k:
+                    terminated = TERMINATED_ENOUGH_ANSWERS
+                    if trace_on:
+                        level_span.set_attrs(record.as_span_attributes())
+                    break
+                if level == self.lmax:
+                    if trace_on:
+                        level_span.set_attrs(record.as_span_attributes())
+                    break
+                if hasattr(self.backend, "last_counters"):
+                    self.backend.last_counters = None
+                with timer.phase(PHASE_EXPANSION):
+                    self.backend.expand(self.graph, state, level)
+                counters: Optional[KernelCounters] = getattr(
+                    self.backend, "last_counters", None
+                )
+                now_finite = state.total_finite_cells()
+                record.new_hits = now_finite - finite_cells
+                finite_cells = now_finite
+                if counters is not None:
+                    record.edges_scanned = counters.edges_gathered
+                else:
+                    record.edges_scanned = int(
+                        degree_array[state.frontier].sum()
+                    )
+                if trace_on:
+                    level_span.set_attrs(record.as_span_attributes())
+                    if counters is not None:
+                        level_span.set_attrs(counters.as_dict())
+                if observer is not None:
+                    observer.on_expansion_done(record.new_hits)
+                    if counters is not None and hasattr(
+                        observer, "on_kernel_counters"
+                    ):
+                        observer.on_kernel_counters(counters)
+                levels_executed += 1
+                peak_nbytes = max(peak_nbytes, state.nbytes())
+                level += 1
 
         if state.central_nodes:
             depth = max(found_depth for _, found_depth in state.central_nodes)

@@ -24,6 +24,8 @@ import numpy as np
 from ..instrumentation import PHASE_TOTAL, PhaseTimer, StorageReport
 from ..graph.csr import KnowledgeGraph
 from ..graph.sampling import estimate_average_distance
+from ..obs.adapter import TracingPhaseTimer
+from ..obs.tracing import Tracer, get_global_tracer
 from ..parallel.backend import ExpansionBackend
 from ..text.inverted_index import InvertedIndex
 from ..text.tokenizer import Tokenizer
@@ -79,6 +81,11 @@ class KeywordSearchEngine:
         index: a prebuilt inverted index (built from the graph if omitted).
         weights: precomputed normalized weights (computed if omitted).
         average_distance: precomputed A (sampled if omitted).
+        tracer: span destination for queries. ``None`` (default) follows
+            the process-global tracer (a no-op unless one was installed,
+            e.g. by ``REPRO_TRACE``); pass an enabled
+            :class:`~repro.obs.tracing.Tracer` to record
+            query→phase→level spans for this engine.
     """
 
     def __init__(
@@ -90,8 +97,10 @@ class KeywordSearchEngine:
         weights: Optional[np.ndarray] = None,
         average_distance: Optional[float] = None,
         tokenizer: Optional[Tokenizer] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.graph = graph
+        self.tracer = tracer
         self.config = config or EngineConfig()
         self.index = index or InvertedIndex.from_graph(graph, tokenizer)
         self.weights = (
@@ -198,22 +207,41 @@ class KeywordSearchEngine:
         else:
             activation = self.activation_for(alpha)
 
-        timer = PhaseTimer()
-        with timer.phase(PHASE_TOTAL):
-            bottom_up = self._searcher.run(node_sets, activation, k, timer=timer)
-            ranked = process_top_down(
-                self.graph,
-                bottom_up.state,
-                self.weights,
-                config=TopDownConfig(
-                    k=k,
-                    lam=lam,
-                    apply_level_cover=self.config.apply_level_cover,
-                    deduplicate=self.config.deduplicate,
-                    single_path=self.config.single_path,
-                    n_threads=self.config.top_down_threads,
-                ),
-                timer=timer,
+        tracer = self.tracer if self.tracer is not None else get_global_tracer()
+        # The disabled path must stay bit-for-bit the seed hot path: a
+        # plain PhaseTimer and no span context managers (REPRO_OBS=0 /
+        # no tracer installed ⇒ zero-overhead telemetry).
+        timer: PhaseTimer = (
+            TracingPhaseTimer(tracer) if tracer.enabled else PhaseTimer()
+        )
+        with tracer.span(
+            "query", knum=len(keywords), k=k, alpha=alpha
+        ) as query_span:
+            with timer.phase(PHASE_TOTAL):
+                bottom_up = self._searcher.run(
+                    node_sets, activation, k, timer=timer, tracer=tracer
+                )
+                ranked = process_top_down(
+                    self.graph,
+                    bottom_up.state,
+                    self.weights,
+                    config=TopDownConfig(
+                        k=k,
+                        lam=lam,
+                        apply_level_cover=self.config.apply_level_cover,
+                        deduplicate=self.config.deduplicate,
+                        single_path=self.config.single_path,
+                        n_threads=self.config.top_down_threads,
+                    ),
+                    timer=timer,
+                )
+            query_span.set_attrs(
+                {
+                    "depth": bottom_up.depth,
+                    "n_central_nodes": bottom_up.state.n_central_nodes,
+                    "n_answers": len(ranked),
+                    "terminated": bottom_up.terminated,
+                }
             )
         answers = [SearchAnswer(graph=g, keywords=keywords) for g in ranked]
         return SearchResult(

@@ -31,7 +31,11 @@ def central_graph_score(
     """
     if lam < 0:
         raise ValueError(f"lambda must be non-negative, got {lam}")
-    weight_mass = float(sum(weights[node] for node in graph.nodes))
+    # Sum in sorted-node order: float addition is non-associative, and
+    # ``graph.nodes`` insertion order differs between engine variants, so
+    # an order-dependent sum can differ in the last ulp and flip score
+    # tie-breaks across otherwise-identical rankings.
+    weight_mass = float(sum(weights[node] for node in sorted(graph.nodes)))
     return float(graph.depth) ** lam * weight_mass
 
 

@@ -1,0 +1,73 @@
+"""repro.obs — the unified observability layer.
+
+One API for all telemetry:
+
+* :mod:`repro.obs.tracing` — nested, thread-aware spans; Chrome
+  trace-event export (Perfetto / ``chrome://tracing``) and text flame
+  summaries.
+* :mod:`repro.obs.metrics` — lock-protected counters, gauges, and
+  log-bucket histograms; Prometheus text exposition and JSON snapshots.
+* :mod:`repro.obs.adapter` — :class:`TracingPhaseTimer`, the bridge
+  that keeps the paper-figure ``PhaseTimer`` numbers bit-identical
+  while mirroring phases as spans.
+* :mod:`repro.obs.config` — the ``REPRO_OBS`` kill-switch,
+  ``REPRO_NATIVE_KERNEL`` propagation, and the ``REPRO_TRACE``
+  bench-run trace hook.
+
+See ``docs/OBSERVABILITY.md`` for the span model, metric naming scheme,
+and how to scrape/open the exports.
+"""
+
+from .adapter import TracingPhaseTimer
+from .config import (
+    ENV_NATIVE_KERNEL,
+    ENV_OBS,
+    ENV_TRACE,
+    ObsConfig,
+    maybe_install_env_tracer,
+    native_kernel_enabled,
+    obs_enabled,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    record_kernel_counters,
+)
+from .tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_global_tracer,
+    install_global_tracer,
+    uninstall_global_tracer,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "ENV_NATIVE_KERNEL",
+    "ENV_OBS",
+    "ENV_TRACE",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "ObsConfig",
+    "Span",
+    "Tracer",
+    "TracingPhaseTimer",
+    "get_global_tracer",
+    "get_registry",
+    "install_global_tracer",
+    "maybe_install_env_tracer",
+    "native_kernel_enabled",
+    "obs_enabled",
+    "record_kernel_counters",
+    "uninstall_global_tracer",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,48 @@
+"""Bridge between the span tracer and the figures' ``PhaseTimer``.
+
+The paper's figures are computed from :class:`~repro.instrumentation.
+PhaseTimer` millisecond dictionaries, and a pile of code (benchmark
+harness, CLI, result payloads) consumes them. Rather than migrate all of
+it, the engine swaps in :class:`TracingPhaseTimer` — a ``PhaseTimer``
+subclass that *additionally* mirrors every phase enter/exit as a tracer
+span named ``phase:<name>``. The accumulation code is inherited
+unchanged and the perf-counter window is identical, so the timer's
+per-phase numbers are produced by exactly the seed code path (a parity
+test pins this bit-for-bit under a fake clock).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..instrumentation import PhaseTimer
+from .tracing import Tracer
+
+#: Span-name prefix for mirrored phases (``phase:expansion`` etc.).
+PHASE_SPAN_PREFIX = "phase:"
+
+
+class TracingPhaseTimer(PhaseTimer):
+    """A ``PhaseTimer`` whose phases also open tracer spans.
+
+    Phases re-entered per BFS level (enqueue/identify/expand) produce
+    one span per entry — that is the point: the Chrome trace shows each
+    level's slice while the timer still accumulates the figure totals.
+
+    Args:
+        tracer: the destination tracer (usually enabled; with a disabled
+            tracer this class is pure overhead — use ``PhaseTimer``).
+    """
+
+    def __init__(self, tracer: Tracer) -> None:
+        super().__init__()
+        self.tracer = tracer
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        with self.tracer.span(PHASE_SPAN_PREFIX + name):
+            # Delegate to the inherited accumulator so the timed window
+            # and bookkeeping are byte-for-byte the seed implementation.
+            with PhaseTimer.phase(self, name):
+                yield

@@ -1,0 +1,108 @@
+"""Observability configuration: one place for every telemetry switch.
+
+Two environment variables govern the runtime-tunable fast paths, and
+both are read through this module so their spelling and defaults live in
+exactly one place:
+
+* ``REPRO_OBS`` — the observability kill-switch. ``REPRO_OBS=0``
+  disables span tracing and metric recording everywhere (default
+  tracers come up disabled, :func:`~repro.obs.metrics.record_kernel_counters`
+  no-ops), so the engine runs the exact seed hot path. The kernel
+  microbenchmark (:func:`repro.bench.kernel_microbench.measure_obs_overhead`)
+  asserts that this disabled path stays within measurement noise of the
+  untraced engine.
+* ``REPRO_NATIVE_KERNEL`` — the compiled-C expansion tier switch
+  (``0`` pins the pure-NumPy kernel). Owned by
+  :mod:`repro.parallel._native`; re-exposed here so callers configuring
+  telemetry and kernel tiers read one module.
+* ``REPRO_TRACE`` — when set to a file path, a process-global tracer is
+  installed at benchmark-harness import and the collected spans are
+  written there as Chrome trace-event JSON at interpreter exit, so any
+  ``benchmarks/bench_*.py`` run can dump a trace without code changes.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+#: Kill-switch for all span tracing and metric recording.
+ENV_OBS = "REPRO_OBS"
+
+#: Compiled-kernel switch (must match ``repro.parallel._native.ENV_FLAG``;
+#: a test pins the equality).
+ENV_NATIVE_KERNEL = "REPRO_NATIVE_KERNEL"
+
+#: Chrome-trace output path for benchmark runs (empty/unset = no trace).
+ENV_TRACE = "REPRO_TRACE"
+
+
+def obs_enabled() -> bool:
+    """True unless ``REPRO_OBS=0`` vetoes telemetry."""
+    return os.environ.get(ENV_OBS, "1") != "0"
+
+
+def native_kernel_enabled() -> bool:
+    """True unless ``REPRO_NATIVE_KERNEL=0`` pins the NumPy kernel."""
+    return os.environ.get(ENV_NATIVE_KERNEL, "1") != "0"
+
+
+def trace_path() -> Optional[str]:
+    """The ``REPRO_TRACE`` output path, or ``None``."""
+    return os.environ.get(ENV_TRACE) or None
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """A snapshot of every observability switch.
+
+    Attributes:
+        enabled: span tracing / metric recording allowed (``REPRO_OBS``).
+        native_kernel: compiled expansion tier allowed
+            (``REPRO_NATIVE_KERNEL``).
+        trace_path: Chrome-trace dump path for this run (``REPRO_TRACE``).
+    """
+
+    enabled: bool
+    native_kernel: bool
+    trace_path: Optional[str]
+
+    @classmethod
+    def from_env(cls) -> "ObsConfig":
+        return cls(
+            enabled=obs_enabled(),
+            native_kernel=native_kernel_enabled(),
+            trace_path=trace_path(),
+        )
+
+
+def maybe_install_env_tracer():
+    """Install a process-global tracer when ``REPRO_TRACE`` is set.
+
+    Idempotent: repeated calls return the already-installed tracer. The
+    collected spans are written to the configured path as Chrome
+    trace-event JSON when the interpreter exits. Returns the installed
+    :class:`~repro.obs.tracing.Tracer`, or ``None`` when no trace was
+    requested.
+    """
+    path = trace_path()
+    if not path:
+        return None
+    from . import tracing
+
+    installed = tracing.get_global_tracer()
+    if installed.enabled:
+        return installed
+    tracer = tracing.Tracer(enabled=True)
+    tracing.install_global_tracer(tracer)
+
+    def _dump(tracer=tracer, path=path) -> None:
+        try:
+            tracer.write_chrome_trace(path)
+        except OSError:  # pragma: no cover - unwritable path at exit
+            pass
+
+    atexit.register(_dump)
+    return tracer

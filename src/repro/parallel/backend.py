@@ -30,6 +30,7 @@ import abc
 
 from ..core.state import SearchState
 from ..graph.csr import KnowledgeGraph
+from ..obs.tracing import NULL_TRACER, Tracer
 
 
 class ExpansionBackend(abc.ABC):
@@ -37,6 +38,14 @@ class ExpansionBackend(abc.ABC):
 
     #: Human-readable name used in benchmark tables.
     name: str = "abstract"
+
+    #: Destination for expansion spans; the bottom-up loop points this at
+    #: the active query's tracer before each run (no-op by default).
+    tracer: Tracer = NULL_TRACER
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach the tracer receiving this backend's expansion spans."""
+        self.tracer = tracer
 
     @abc.abstractmethod
     def expand(self, graph: KnowledgeGraph, state: SearchState, level: int) -> None:

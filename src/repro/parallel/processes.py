@@ -209,7 +209,18 @@ class ProcessPoolBackend(ExpansionBackend):
         tasks = [
             (segment.name, n, q, level, chunk) for chunk in chunks
         ]
-        self._pool.map(_expand_chunk_task, tasks)
+        if self.tracer.enabled:
+            # Worker processes cannot share the tracer; one span around
+            # the whole dispatch records the pool round instead.
+            with self.tracer.span(
+                "process_pool.map",
+                chunks=len(chunks),
+                frontier_size=len(frontier),
+                level=level,
+            ):
+                self._pool.map(_expand_chunk_task, tasks)
+        else:
+            self._pool.map(_expand_chunk_task, tasks)
 
         # Copy the mutated state back.
         state.matrix[:] = views["matrix"]

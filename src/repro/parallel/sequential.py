@@ -75,4 +75,10 @@ class SequentialBackend(ExpansionBackend):
     name = "sequential"
 
     def expand(self, graph: KnowledgeGraph, state: SearchState, level: int) -> None:
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "expand:sequential", frontier_size=len(state.frontier)
+            ):
+                expand_frontier_chunk(graph, state, level, state.frontier)
+            return
         expand_frontier_chunk(graph, state, level, state.frontier)

@@ -30,6 +30,7 @@ import numpy as np
 from ..core.state import SearchState
 from ..graph.csr import KnowledgeGraph
 from ..instrumentation import KernelCounters
+from ..obs.metrics import record_kernel_counters
 from .backend import ExpansionBackend
 from .vectorized import apply_hit_keys, fused_expand_chunk
 
@@ -69,6 +70,7 @@ class ThreadPoolBackend(ExpansionBackend):
             keys = fused_expand_chunk(graph, state, level, frontier, counters)
             apply_hit_keys(state, keys)
             self.last_counters = counters
+            record_kernel_counters(counters, tier="threads")
             return
         chunks = [
             chunk
@@ -76,12 +78,31 @@ class ThreadPoolBackend(ExpansionBackend):
             if len(chunk)
         ]
         chunk_counters = [KernelCounters() for _ in chunks]
-        futures = [
-            self._pool.submit(
-                fused_expand_chunk, graph, state, level, chunk, chunk_counter
-            )
-            for chunk, chunk_counter in zip(chunks, chunk_counters)
-        ]
+        if self.tracer.enabled:
+            # Pool workers run on their own threads, whose thread-local
+            # span stacks are empty — hand them the expansion span as an
+            # explicit parent so chunk spans nest under this level.
+            parent = self.tracer.current_span()
+
+            def run_chunk(chunk, chunk_counter):
+                with self.tracer.span(
+                    "chunk", parent=parent, chunk_size=len(chunk), level=level
+                ):
+                    return fused_expand_chunk(
+                        graph, state, level, chunk, chunk_counter
+                    )
+
+            futures = [
+                self._pool.submit(run_chunk, chunk, chunk_counter)
+                for chunk, chunk_counter in zip(chunks, chunk_counters)
+            ]
+        else:
+            futures = [
+                self._pool.submit(
+                    fused_expand_chunk, graph, state, level, chunk, chunk_counter
+                )
+                for chunk, chunk_counter in zip(chunks, chunk_counters)
+            ]
         # Surface worker exceptions instead of swallowing them.
         key_lists = [future.result() for future in futures]
         claimed = sum(len(keys) for keys in key_lists)
@@ -103,6 +124,7 @@ class ThreadPoolBackend(ExpansionBackend):
             counters.duplicates_elided += claimed - len(merged)
             counters.pairs_hit -= claimed - len(merged)
         self.last_counters = counters
+        record_kernel_counters(counters, tier="threads")
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)

@@ -53,6 +53,7 @@ import numpy as np
 from ..core.state import INFINITE_LEVEL, SearchState
 from ..graph.csr import KnowledgeGraph
 from ..instrumentation import KernelCounters
+from ..obs.metrics import record_kernel_counters
 from .backend import ExpansionBackend
 
 _EMPTY_KEYS = np.empty(0, dtype=np.int64)
@@ -497,9 +498,16 @@ class VectorizedBackend(ExpansionBackend):
         counters = KernelCounters()
         if self._should_pull(graph, state, level):
             keys = pull_expand(graph, state, level, counters)
+            tier = "pull"
         else:
             keys = fused_expand_chunk(
                 graph, state, level, frontier, counters, native=self.native
             )
+            tier = (
+                "native"
+                if self.native is not False and _native_kernel() is not None
+                else "numpy"
+            )
         apply_hit_keys(state, keys)
         self.last_counters = counters
+        record_kernel_counters(counters, tier=tier)

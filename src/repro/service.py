@@ -9,7 +9,11 @@ Endpoints:
 
 * ``GET /``                     — HTML search page,
 * ``GET /search?q=...&k=...&alpha=...`` — JSON answers,
-* ``GET /healthz``              — liveness probe.
+* ``GET /healthz``              — liveness probe,
+* ``GET /metrics``              — Prometheus text exposition (request
+  latency histograms, per-endpoint counters, kernel work counters),
+* ``GET /statz``                — JSON service statistics (per-endpoint
+  counts, last error detail).
 
 The query logic lives in :class:`SearchService`, a plain object that is
 fully testable without sockets; the HTTP handler is a thin shell.
@@ -19,15 +23,28 @@ from __future__ import annotations
 
 import json
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict
+from typing import Dict, Optional
 from urllib.parse import parse_qs, urlparse
 
 from .core.central_graph import SearchAnswer
 from .core.engine import EmptyQueryError, KeywordSearchEngine
 from .graph.csr import KnowledgeGraph
+from .obs.metrics import MetricsRegistry, get_registry
 from .viz import edge_predicates
+
+#: Bounded endpoint label set — unknown paths collapse to "other" so a
+#: scanner cannot explode the metric cardinality.
+_KNOWN_ENDPOINTS = ("/", "/healthz", "/search", "/metrics", "/statz")
+
+#: Prometheus text exposition format version (content negotiation).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _endpoint_label(path: str) -> str:
+    return path if path in _KNOWN_ENDPOINTS else "other"
 
 _PAGE = """<!doctype html>
 <html><head><meta charset="utf-8"><title>WikiSearch (reproduction)</title>
@@ -54,20 +71,96 @@ _PAGE = """<!doctype html>
 
 @dataclass
 class ServiceStats:
-    """Rolling counters exposed for monitoring."""
+    """Rolling counters exposed for monitoring.
+
+    ``queries``/``errors`` keep their original meaning (search queries
+    attempted / search queries that failed); the per-endpoint maps and
+    ``last_error`` are the ``/statz`` detail view.
+
+    Attributes:
+        queries: search queries attempted (successful or not).
+        errors: search queries that returned an error payload.
+        requests_by_endpoint: HTTP GETs served, keyed by endpoint label
+            (unknown paths collapse to ``"other"``).
+        errors_by_endpoint: non-2xx responses, keyed the same way.
+        last_error: detail of the most recent error response —
+            ``{"endpoint", "status", "message", "unix_time"}`` — or
+            ``None`` when no error has occurred yet.
+        started_unix: service construction time (epoch seconds).
+    """
 
     queries: int = 0
     errors: int = 0
+    requests_by_endpoint: Dict[str, int] = field(default_factory=dict)
+    errors_by_endpoint: Dict[str, int] = field(default_factory=dict)
+    last_error: Optional[Dict] = None
+    started_unix: float = 0.0
+
+    def as_dict(self) -> Dict:
+        """JSON-serializable snapshot (the ``/statz`` payload)."""
+        return {
+            "queries": self.queries,
+            "errors": self.errors,
+            "requests_by_endpoint": dict(self.requests_by_endpoint),
+            "errors_by_endpoint": dict(self.errors_by_endpoint),
+            "last_error": dict(self.last_error) if self.last_error else None,
+            "started_unix": self.started_unix,
+            "uptime_seconds": time.time() - self.started_unix,
+        }
 
 
 class SearchService:
-    """HTTP-agnostic query service wrapping one engine."""
+    """HTTP-agnostic query service wrapping one engine.
 
-    def __init__(self, engine: KeywordSearchEngine) -> None:
+    Args:
+        engine: the search engine answering ``/search``.
+        registry: metrics destination; defaults to the process registry,
+            so kernel work counters recorded by the backends land in the
+            same ``/metrics`` output as the HTTP series.
+    """
+
+    def __init__(
+        self,
+        engine: KeywordSearchEngine,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.engine = engine
         self.graph: KnowledgeGraph = engine.graph
-        self.stats = ServiceStats()
+        self.stats = ServiceStats(started_unix=time.time())
+        self.registry = registry if registry is not None else get_registry()
         self._lock = threading.Lock()
+
+    def _record_request(
+        self, endpoint: str, status: int, seconds: float, message: str = ""
+    ) -> None:
+        """Update stats + metrics for one served GET."""
+        with self._lock:
+            self.stats.requests_by_endpoint[endpoint] = (
+                self.stats.requests_by_endpoint.get(endpoint, 0) + 1
+            )
+            if status >= 400:
+                self.stats.errors_by_endpoint[endpoint] = (
+                    self.stats.errors_by_endpoint.get(endpoint, 0) + 1
+                )
+                self.stats.last_error = {
+                    "endpoint": endpoint,
+                    "status": status,
+                    "message": message,
+                    "unix_time": time.time(),
+                }
+        self.registry.counter(
+            "repro_http_requests_total", "HTTP GETs served",
+            endpoint=endpoint,
+        ).inc()
+        self.registry.histogram(
+            "repro_http_request_seconds", "HTTP request latency",
+            endpoint=endpoint,
+        ).observe(seconds)
+        if status >= 400:
+            self.registry.counter(
+                "repro_http_errors_total", "HTTP error responses",
+                endpoint=endpoint,
+            ).inc()
 
     # ------------------------------------------------------------------
     # Pure request logic (unit-testable)
@@ -155,13 +248,42 @@ class SearchService:
         return 200, payload
 
     def handle_path(self, path: str) -> "tuple[int, str, str]":
-        """Dispatch one GET path; returns (status, content_type, body)."""
+        """Dispatch one GET path; returns (status, content_type, body).
+
+        Every dispatch lands in the request counters and the latency
+        histogram (labelled by endpoint), and error responses update
+        ``stats.last_error``.
+        """
         parsed = urlparse(path)
+        endpoint = _endpoint_label(parsed.path)
+        start = time.perf_counter()
+        status, content_type, body = self._dispatch(parsed)
+        message = ""
+        if status >= 400 and content_type == "application/json":
+            try:
+                message = json.loads(body).get("error", "")
+            except (ValueError, AttributeError):  # pragma: no cover
+                message = ""
+        self._record_request(
+            endpoint, status, time.perf_counter() - start, message
+        )
+        return status, content_type, body
+
+    def _dispatch(self, parsed) -> "tuple[int, str, str]":
         if parsed.path == "/":
             return 200, "text/html; charset=utf-8", self.index_page()
         if parsed.path == "/healthz":
             return 200, "application/json", json.dumps(
                 {"status": "ok", "queries": self.stats.queries}
+            )
+        if parsed.path == "/metrics":
+            return 200, PROMETHEUS_CONTENT_TYPE, self.registry.render_prometheus()
+        if parsed.path == "/statz":
+            return 200, "application/json", json.dumps(
+                {
+                    "service": self.stats.as_dict(),
+                    "metrics": self.registry.snapshot(),
+                }
             )
         if parsed.path == "/search":
             params = parse_qs(parsed.query)

@@ -118,6 +118,56 @@ def test_generate_from_wikidata_dump(tmp_path, capsys):
     assert code == 0
 
 
+def test_profile_writes_valid_chrome_trace(saved_kb, tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    trace_path = str(tmp_path / "profile.trace.json")
+    code = main(["profile", "--graph", saved_kb, "machine learning",
+                 "-k", "3", "--trace", trace_path, "--format", "chrome"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "spans" in captured.err
+    # stdout carries the Chrome trace JSON itself.
+    payload = json.loads(captured.out)
+    validate_chrome_trace(payload)
+    names = {e["name"] for e in payload["traceEvents"]}
+    assert {"query", "phase:total", "level"} <= names
+    with open(trace_path) as handle:
+        written = json.load(handle)
+    validate_chrome_trace(written)
+
+
+def test_profile_summary_format(saved_kb, capsys):
+    code = main(["profile", "--graph", saved_kb, "machine learning",
+                 "-k", "2", "--format", "summary"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "query" in out
+    assert "total_ms" in out
+
+
+def test_profile_unmatched_query_exit_code(saved_kb, capsys):
+    code = main(["profile", "--graph", saved_kb, "zzzzqqq"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_search_trace_flag(saved_kb, tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    trace_path = str(tmp_path / "search.trace.json")
+    code = main(["search", "--graph", saved_kb, "machine learning",
+                 "-k", "2", "--trace", trace_path])
+    assert code == 0
+    assert "wrote Chrome trace" in capsys.readouterr().out
+    with open(trace_path) as handle:
+        validate_chrome_trace(json.load(handle))
+
+
 def test_serve_check_mode(saved_kb, capsys):
     code = main(["serve", "--graph", saved_kb, "--check"])
     assert code == 0

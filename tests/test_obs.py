@@ -1,0 +1,450 @@
+"""The repro.obs observability layer: tracing, metrics, config, adapter."""
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.instrumentation import (
+    PHASE_TOTAL,
+    KernelCounters,
+    PhaseTimer,
+    summarize_timers,
+)
+from repro.obs import (
+    ENV_NATIVE_KERNEL,
+    ENV_OBS,
+    MetricsRegistry,
+    ObsConfig,
+    Span,
+    Tracer,
+    TracingPhaseTimer,
+    install_global_tracer,
+    obs_enabled,
+    record_kernel_counters,
+    uninstall_global_tracer,
+    validate_chrome_trace,
+)
+from repro.obs.tracing import NULL_CONTEXT, NULL_SPAN, NULL_TRACER
+
+
+# ---------------------------------------------------------------------------
+# Tracer: spans, nesting, threads
+# ---------------------------------------------------------------------------
+def test_span_nesting_and_attrs():
+    tracer = Tracer(enabled=True)
+    with tracer.span("outer", k=3) as outer:
+        with tracer.span("inner") as inner:
+            inner.set_attr("x", 1)
+        assert tracer.current_span() is outer
+    spans = tracer.finished_spans()
+    assert [s.name for s in spans] == ["inner", "outer"]
+    inner, outer = spans
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id == 0
+    assert outer.attrs["k"] == 3
+    assert inner.attrs["x"] == 1
+    assert inner.duration_ns >= 0
+    assert outer.duration_ns >= inner.duration_ns
+
+
+def test_span_records_on_exception():
+    tracer = Tracer(enabled=True)
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom"):
+            raise RuntimeError("x")
+    assert [s.name for s in tracer.finished_spans()] == ["boom"]
+    assert tracer.current_span() is None
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    ctx = tracer.span("x")
+    assert ctx is NULL_CONTEXT
+    with ctx as span:
+        assert span is NULL_SPAN
+        span.set_attr("ignored", 1)  # no-op, no error
+    assert tracer.finished_spans() == []
+
+
+def test_cross_thread_parenting_via_explicit_parent():
+    tracer = Tracer(enabled=True)
+    with tracer.span("coordinator") as parent:
+        def work():
+            # The worker thread's stack is empty: without parent= this
+            # span would become a root.
+            with tracer.span("chunk", parent=parent):
+                pass
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            list(pool.map(lambda _: work(), range(4)))
+    spans = tracer.finished_spans()
+    chunks = [s for s in spans if s.name == "chunk"]
+    coordinator = next(s for s in spans if s.name == "coordinator")
+    assert len(chunks) == 4
+    assert all(c.parent_id == coordinator.span_id for c in chunks)
+    assert any(c.tid != coordinator.tid for c in chunks)
+
+
+def test_traced_decorator():
+    tracer = Tracer(enabled=True)
+
+    @tracer.traced("work")
+    def work(x):
+        return x + 1
+
+    assert work(1) == 2
+    assert [s.name for s in tracer.finished_spans()] == ["work"]
+
+
+def test_chrome_trace_export_and_validation(tmp_path):
+    tracer = Tracer(enabled=True)
+    with tracer.span("query", k=5):
+        with tracer.span("phase:total"):
+            pass
+    payload = tracer.to_chrome_trace()
+    validate_chrome_trace(payload)
+    events = payload["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert {e["name"] for e in complete} == {"query", "phase:total"}
+    assert meta and meta[0]["name"] == "thread_name"
+    query = next(e for e in complete if e["name"] == "query")
+    assert query["args"]["k"] == 5
+    path = tmp_path / "trace.json"
+    tracer.write_chrome_trace(str(path))
+    validate_chrome_trace(json.loads(path.read_text()))
+
+
+def test_validate_chrome_trace_rejects_malformed():
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"no": "events"})
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+    with pytest.raises(ValueError):
+        validate_chrome_trace(
+            {"traceEvents": [
+                {"name": "a", "ph": "X", "pid": 1, "tid": 1,
+                 "ts": -5.0, "dur": 1.0, "args": {}},
+            ]}
+        )
+    with pytest.raises(ValueError):
+        validate_chrome_trace(
+            {"traceEvents": [
+                {"name": "a", "ph": "X", "pid": 1, "tid": 1,
+                 "ts": 0.0, "dur": 1.0,
+                 "args": {"span_id": 1, "parent_id": 99}},
+            ]}
+        )
+
+
+def test_flame_summary_aggregates_siblings():
+    tracer = Tracer(enabled=True)
+    with tracer.span("query"):
+        for level in range(3):
+            with tracer.span("level", level=level):
+                pass
+    summary = tracer.flame_summary()
+    assert "query" in summary
+    # Three sibling "level" spans collapse to one row with calls=3.
+    level_line = next(l for l in summary.splitlines() if "level" in l)
+    assert level_line.rstrip().endswith("3")
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+def test_counter_gauge_histogram_basics():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_test_total", "help", tier="a")
+    counter.inc()
+    counter.inc(2)
+    assert counter.value == 3
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    gauge = registry.gauge("repro_test_gauge")
+    gauge.set(5)
+    gauge.dec(2)
+    assert gauge.value == 3
+    histogram = registry.histogram("repro_test_seconds")
+    for value in (0.001, 0.002, 0.004, 10.0):
+        histogram.observe(value)
+    summary = histogram.summary()
+    assert summary["count"] == 4
+    assert summary["sum"] == pytest.approx(10.007)
+    assert 0 < summary["p50"] <= 0.01
+    assert summary["p99"] > 1.0
+
+
+def test_registry_get_or_create_and_kind_mismatch():
+    registry = MetricsRegistry()
+    a = registry.counter("repro_x_total", tier="t")
+    b = registry.counter("repro_x_total", tier="t")
+    assert a is b
+    c = registry.counter("repro_x_total", tier="other")
+    assert c is not a
+    with pytest.raises(ValueError):
+        registry.gauge("repro_x_total", tier="t")
+    with pytest.raises(ValueError):
+        registry.counter("bad name")
+    with pytest.raises(ValueError):
+        registry.counter("repro_y_total", **{"0bad": "v"})
+
+
+def test_prometheus_rendering():
+    registry = MetricsRegistry()
+    registry.counter("repro_http_requests_total", "GETs", endpoint="/search").inc(2)
+    registry.histogram("repro_http_request_seconds", endpoint="/search").observe(0.01)
+    text = registry.render_prometheus()
+    assert "# TYPE repro_http_requests_total counter" in text
+    assert '# HELP repro_http_requests_total GETs' in text
+    assert 'repro_http_requests_total{endpoint="/search"} 2' in text
+    assert "# TYPE repro_http_request_seconds histogram" in text
+    assert 'le="+Inf"} 1' in text
+    assert 'repro_http_request_seconds_count{endpoint="/search"} 1' in text
+    assert 'repro_http_request_seconds_sum{endpoint="/search"}' in text
+    # Cumulative buckets: every bound >= 0.01 reports 1.
+    assert 'le="0.0128"} 1' in text
+
+
+def test_histogram_percentile_bounds():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("repro_p_seconds")
+    assert histogram.percentile(0.5) == 0.0
+    with pytest.raises(ValueError):
+        histogram.percentile(1.5)
+
+
+def test_concurrent_counter_hammer_exact_total():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_hammer_total")
+    histogram = registry.histogram("repro_hammer_seconds")
+    n_threads, n_iter = 8, 500
+
+    def hammer(_):
+        for _ in range(n_iter):
+            counter.inc()
+            histogram.observe(0.001)
+
+    with ThreadPoolExecutor(max_workers=n_threads) as pool:
+        list(pool.map(hammer, range(n_threads)))
+    assert counter.value == n_threads * n_iter
+    assert histogram.count == n_threads * n_iter
+    assert histogram.sum == pytest.approx(n_threads * n_iter * 0.001)
+
+
+def test_record_kernel_counters(monkeypatch):
+    registry = MetricsRegistry()
+    counters = KernelCounters(
+        sources_pruned=1, edges_gathered=10, pairs_hit=5,
+        duplicates_elided=2, pull_levels=0,
+    )
+    record_kernel_counters(counters, tier="numpy", registry=registry)
+    text = registry.render_prometheus()
+    assert 'repro_kernel_edges_gathered_total{tier="numpy"} 10' in text
+    assert 'repro_kernel_pairs_hit_total{tier="numpy"} 5' in text
+    # Zero-valued fields are skipped entirely.
+    assert "pull_levels" not in text
+    # REPRO_OBS=0 turns recording into a no-op.
+    monkeypatch.setenv(ENV_OBS, "0")
+    record_kernel_counters(counters, tier="numpy", registry=registry)
+    assert 'edges_gathered_total{tier="numpy"} 10' in registry.render_prometheus()
+
+
+# ---------------------------------------------------------------------------
+# Config / kill-switch
+# ---------------------------------------------------------------------------
+def test_env_switches(monkeypatch):
+    monkeypatch.delenv(ENV_OBS, raising=False)
+    assert obs_enabled()
+    monkeypatch.setenv(ENV_OBS, "0")
+    assert not obs_enabled()
+    assert not Tracer().enabled  # default follows the kill-switch
+    config = ObsConfig.from_env()
+    assert not config.enabled
+    monkeypatch.setenv(ENV_OBS, "1")
+    assert Tracer().enabled
+
+
+def test_native_kernel_env_name_matches_native_module():
+    from repro.parallel import _native
+
+    assert ENV_NATIVE_KERNEL == _native.ENV_FLAG
+
+
+def test_maybe_install_env_tracer(monkeypatch, tmp_path):
+    from repro.obs.config import maybe_install_env_tracer
+
+    uninstall_global_tracer()
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    assert maybe_install_env_tracer() is None
+    path = tmp_path / "bench.trace.json"
+    monkeypatch.setenv("REPRO_TRACE", str(path))
+    tracer = maybe_install_env_tracer()
+    try:
+        assert tracer is not None and tracer.enabled
+        # Idempotent: the second call returns the installed tracer.
+        assert maybe_install_env_tracer() is tracer
+        from repro.obs.tracing import get_global_tracer
+
+        assert get_global_tracer() is tracer
+    finally:
+        uninstall_global_tracer()
+
+
+# ---------------------------------------------------------------------------
+# PhaseTimer adapter parity
+# ---------------------------------------------------------------------------
+def test_tracing_phase_timer_matches_phase_timer(monkeypatch):
+    """Under a fake clock both timers accumulate identical seconds."""
+    ticks = {"now": 0.0}
+
+    def fake_perf_counter():
+        ticks["now"] += 0.5
+        return ticks["now"]
+
+    import repro.instrumentation as instrumentation
+
+    monkeypatch.setattr(instrumentation.time, "perf_counter", fake_perf_counter)
+    plain = PhaseTimer()
+    traced = TracingPhaseTimer(Tracer(enabled=True))
+    for timer in (plain, traced):
+        with timer.phase("a"):
+            pass
+        with timer.phase("a"):
+            pass
+        with timer.phase("b"):
+            pass
+    assert traced.seconds == plain.seconds
+    assert plain.seconds == {"a": 1.0, "b": 0.5}
+
+
+def test_tracing_phase_timer_emits_spans():
+    tracer = Tracer(enabled=True)
+    timer = TracingPhaseTimer(tracer)
+    with timer.phase(PHASE_TOTAL):
+        with timer.phase("expansion"):
+            pass
+    names = [s.name for s in tracer.finished_spans()]
+    assert names == ["phase:expansion", f"phase:{PHASE_TOTAL}"]
+    assert timer.get(PHASE_TOTAL) > 0
+
+
+# ---------------------------------------------------------------------------
+# summarize_timers (average_timers companion)
+# ---------------------------------------------------------------------------
+def test_summarize_timers_reports_counts():
+    a = PhaseTimer({"x": 1.0})
+    b = PhaseTimer({"x": 3.0, "y": 1.0})
+    summary = summarize_timers([a, b])
+    assert summary["x"].mean_ms == 2000.0
+    assert summary["x"].count == 2
+    assert summary["y"].mean_ms == 500.0          # matches average_timers
+    assert summary["y"].mean_present_ms == 1000.0  # absent != zero
+    assert summary["y"].count == 1
+    assert summary["y"].n_timers == 2
+    assert summarize_timers([]) == {}
+
+
+# ---------------------------------------------------------------------------
+# Engine integration: query -> phase -> level spans
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def traced_search(request):
+    from repro.core.engine import KeywordSearchEngine
+    from repro.parallel import VectorizedBackend
+
+    graph, _ = request.getfixturevalue("tiny_kb")
+    tracer = Tracer(enabled=True)
+    engine = KeywordSearchEngine(
+        graph, backend=VectorizedBackend(), tracer=tracer
+    )
+    result = engine.search("machine learning", k=3)
+    return tracer, result
+
+
+def test_engine_emits_nested_query_phase_level_spans(traced_search):
+    tracer, result = traced_search
+    spans = tracer.finished_spans()
+    by_name = {}
+    for span in spans:
+        by_name.setdefault(span.name, []).append(span)
+    query = by_name["query"][0]
+    total = next(s for s in by_name["phase:total"])
+    levels = by_name["level"]
+    assert query.parent_id == 0
+    assert total.parent_id == query.span_id
+    assert all(level.parent_id == total.span_id for level in levels)
+    assert query.attrs["n_answers"] == len(result.answers)
+    assert query.attrs["depth"] == result.depth
+    # Expanded levels carry profile + kernel-counter attributes.
+    expanded = [l for l in levels if "edges_gathered" in l.attrs]
+    terminal = [l for l in levels if "edges_gathered" not in l.attrs]
+    for level in levels:
+        assert "frontier_size" in level.attrs
+    assert len(terminal) <= 1
+    if result.depth > 0:
+        assert expanded
+        assert all(l.attrs["pairs_hit"] >= 0 for l in expanded)
+    payload = tracer.to_chrome_trace()
+    validate_chrome_trace(payload)
+
+
+def test_engine_with_disabled_tracer_uses_plain_timer(request):
+    from repro.core.engine import KeywordSearchEngine
+    from repro.instrumentation import PhaseTimer as PlainTimer
+    from repro.parallel import VectorizedBackend
+
+    graph, _ = request.getfixturevalue("tiny_kb")
+    engine = KeywordSearchEngine(graph, backend=VectorizedBackend())
+    result = engine.search("machine learning", k=2)
+    assert type(result.timer) is PlainTimer
+    assert result.answers
+
+
+def test_engine_uses_installed_global_tracer(request):
+    from repro.core.engine import KeywordSearchEngine
+    from repro.parallel import VectorizedBackend
+
+    graph, _ = request.getfixturevalue("tiny_kb")
+    tracer = Tracer(enabled=True)
+    install_global_tracer(tracer)
+    try:
+        engine = KeywordSearchEngine(graph, backend=VectorizedBackend())
+        engine.search("machine learning", k=2)
+    finally:
+        uninstall_global_tracer()
+    assert any(s.name == "query" for s in tracer.finished_spans())
+
+
+def test_threaded_backend_attaches_chunk_spans(request):
+    from repro.core.engine import KeywordSearchEngine
+    from repro.parallel import ThreadPoolBackend
+
+    graph, _ = request.getfixturevalue("tiny_kb")
+    tracer = Tracer(enabled=True)
+    with ThreadPoolBackend(n_threads=2) as backend:
+        engine = KeywordSearchEngine(graph, backend=backend, tracer=tracer)
+        engine.search("machine learning paper", k=5)
+    spans = tracer.finished_spans()
+    chunks = [s for s in spans if s.name == "chunk"]
+    if chunks:  # small frontiers may take the single-chunk fast path
+        expansions = {
+            s.span_id for s in spans if s.name == "phase:expansion"
+        }
+        assert all(c.parent_id in expansions for c in chunks)
+    validate_chrome_trace(tracer.to_chrome_trace())
+
+
+# ---------------------------------------------------------------------------
+# Kill-switch overhead
+# ---------------------------------------------------------------------------
+def test_disabled_obs_within_noise_of_untraced():
+    from repro.bench.kernel_microbench import measure_obs_overhead
+
+    overhead = measure_obs_overhead(repeats=3, n_queries=2, knum=3, topk=5)
+    # Identical code path either way; generous factor absorbs CI noise.
+    assert overhead["ratio"] < 2.0
+    assert overhead["plain_ms"] > 0

@@ -79,6 +79,58 @@ def test_stats_counters(engine):
     assert service.stats.errors == 1
 
 
+def test_metrics_endpoint_prometheus_format(engine):
+    from repro.obs import MetricsRegistry
+
+    service = SearchService(engine, registry=MetricsRegistry())
+    service.handle_path("/search?q=machine+learning&k=2")
+    service.handle_path("/healthz")
+    status, content_type, body = service.handle_path("/metrics")
+    assert status == 200
+    assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+    assert "# TYPE repro_http_requests_total counter" in body
+    assert 'repro_http_requests_total{endpoint="/search"} 1' in body
+    assert 'repro_http_requests_total{endpoint="/healthz"} 1' in body
+    assert "# TYPE repro_http_request_seconds histogram" in body
+    assert 'repro_http_request_seconds_bucket{endpoint="/search",le="+Inf"} 1' in body
+    assert 'repro_http_request_seconds_count{endpoint="/search"} 1' in body
+
+
+def test_statz_endpoint_per_endpoint_counts_and_last_error(engine):
+    import json as json_module
+
+    from repro.obs import MetricsRegistry
+
+    service = SearchService(engine, registry=MetricsRegistry())
+    service.handle_path("/search?q=machine+learning&k=2")
+    service.handle_path("/search?q=zzzzqqq")
+    service.handle_path("/bogus")
+    status, content_type, body = service.handle_path("/statz")
+    assert status == 200
+    assert content_type == "application/json"
+    payload = json_module.loads(body)
+    stats = payload["service"]
+    assert stats["requests_by_endpoint"]["/search"] == 2
+    assert stats["requests_by_endpoint"]["other"] == 1
+    assert stats["errors_by_endpoint"]["/search"] == 1
+    assert stats["errors_by_endpoint"]["other"] == 1
+    assert stats["last_error"]["endpoint"] == "other"
+    assert stats["last_error"]["status"] == 404
+    assert stats["queries"] == 2 and stats["errors"] == 1
+    assert stats["uptime_seconds"] >= 0
+    assert "repro_http_requests_total" in payload["metrics"]
+
+
+def test_error_metrics_recorded(engine):
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    service = SearchService(engine, registry=registry)
+    service.handle_path("/search?q=zzzzqqq")
+    text = registry.render_prometheus()
+    assert 'repro_http_errors_total{endpoint="/search"} 1' in text
+
+
 # ---------------------------------------------------------------------------
 # Real HTTP round-trip (ephemeral port)
 # ---------------------------------------------------------------------------
@@ -125,3 +177,12 @@ def test_http_error_status(server):
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         _get(server, "/search?q=zzzzqqq")
     assert excinfo.value.code == 404
+
+
+def test_http_metrics_and_statz(server):
+    status, body = _get(server, "/metrics")
+    assert status == 200
+    assert "repro_http_requests_total" in body
+    status, body = _get(server, "/statz")
+    assert status == 200
+    assert "requests_by_endpoint" in json.loads(body)["service"]
