@@ -1,0 +1,46 @@
+"""Static and dynamic analysis for the lock-free search engine.
+
+The paper's central performance claim rests on a correctness claim:
+racing writes during parallel expansion are benign because they are
+idempotent (Theorem V.2). This package turns that claim — and the
+repo-specific coding contracts that protect it — into machine checks:
+
+* :mod:`~repro.analysis.checked` — :class:`CheckedBackend`, a drop-in
+  wrapper verifying the lock-free write invariants (write-once,
+  level-stamp, idempotent races, frontier monotonicity, finite-count
+  accounting) after every expansion level via shadow-memory write logs;
+* :mod:`~repro.analysis.writelog` — the per-thread, lock-free
+  :class:`WriteLog` kernels fill in when a checker is attached;
+* :mod:`~repro.analysis.lint` — AST lint rules ``RPR001``–``RPR008``
+  encoding the repo's contracts (no locks / Python per-edge loops in
+  ``@hot_path`` kernels, int64 fancy-index dtype, registered ``REPRO_*``
+  env vars, explicit span parents in pool workers, ...);
+* :mod:`~repro.analysis.sanitize` — ASan/UBSan wiring for the compiled
+  kernel tier (``REPRO_SANITIZE=address,undefined``);
+* :mod:`~repro.analysis.faulty` — deliberately broken backends that
+  prove the checker fires;
+* :mod:`~repro.analysis.check` — the ``repro check`` gate combining all
+  of the above.
+
+Everything here is opt-in: an unwrapped backend pays a single
+``is not None`` branch per kernel call and allocates nothing.
+"""
+
+from .checked import CheckedBackend, InvariantViolation, InvariantViolationError
+from .faulty import FAULT_MODES, FaultyBackend
+from .lint import LintReport, LintViolation, lint_source, run_lint
+from .writelog import WriteBatch, WriteLog
+
+__all__ = [
+    "CheckedBackend",
+    "InvariantViolation",
+    "InvariantViolationError",
+    "FAULT_MODES",
+    "FaultyBackend",
+    "LintReport",
+    "LintViolation",
+    "lint_source",
+    "run_lint",
+    "WriteBatch",
+    "WriteLog",
+]

@@ -1,0 +1,36 @@
+/* Sanitizer smoke fixture (repro.analysis.sanitize).
+ *
+ * Two tiny functions compiled with the same toolchain/flag wiring as
+ * the real kernel:
+ *
+ *   smoke_clean  — well-defined heap traffic; must survive ASan/UBSan.
+ *   smoke_faulty — a deliberate one-past-the-end heap write; an
+ *                  ASan-instrumented build must abort on it. This is
+ *                  how `repro check --inject sanitizer` proves the
+ *                  sanitizer wiring is actually armed rather than
+ *                  silently compiling an uninstrumented object.
+ */
+#include <stdint.h>
+#include <stdlib.h>
+
+int64_t smoke_clean(int64_t n) {
+    if (n <= 0) return 0;
+    int64_t *buf = (int64_t *)malloc((size_t)n * sizeof(int64_t));
+    if (!buf) return -1;
+    int64_t sum = 0;
+    for (int64_t i = 0; i < n; i++) buf[i] = i;
+    for (int64_t i = 0; i < n; i++) sum += buf[i];
+    free(buf);
+    return sum;
+}
+
+int64_t smoke_faulty(int64_t n) {
+    if (n <= 0) return 0;
+    int64_t *buf = (int64_t *)malloc((size_t)n * sizeof(int64_t));
+    if (!buf) return -1;
+    /* Heap-buffer-overflow: writes buf[n], one element past the end. */
+    for (int64_t i = 0; i <= n; i++) buf[i] = i;
+    int64_t last = buf[n - 1];
+    free(buf);
+    return last;
+}

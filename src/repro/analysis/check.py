@@ -1,0 +1,317 @@
+"""`repro check` — the repo's static + dynamic analysis gate.
+
+One command that answers "did we break the lock-free design?" four ways:
+
+1. **lint** — the repo-specific AST rules (:mod:`repro.analysis.lint`).
+2. **invariants** — a cross-backend fuzz where every parallel backend
+   runs wrapped in :class:`~repro.analysis.checked.CheckedBackend` and
+   must (a) violate nothing and (b) stay bitwise identical to the
+   sequential oracle; plus a self-validation pass proving the checker
+   *does* fire on each :data:`~repro.analysis.faulty.FAULT_MODES` class.
+3. **sanitizers** — the compiled kernel tier rebuilt under
+   ASan/UBSan (:mod:`repro.analysis.sanitize`) with a smoke fixture and
+   the parity fuzz; skipped gracefully when the toolchain is missing.
+4. **external** — ``ruff`` / ``mypy`` with the configuration in
+   ``pyproject.toml``, run only when installed (they are optional dev
+   dependencies; the AST lint above carries the repo-specific load).
+
+``--inject {lint,race,sanitizer}`` seeds one violation of the chosen
+class so CI and tests can prove the gate actually gates: exit code 1
+means the seeded violation was caught (the expected outcome), 2 means
+the gate failed to catch it.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import lint as lint_mod
+from . import sanitize as sanitize_mod
+from .checked import CheckedBackend
+from .faulty import FAULT_MODES, FaultyBackend
+
+PrintFn = Callable[[str], None]
+
+#: A hot-path snippet breaking several rules at once, used by
+#: ``repro check --inject lint`` to prove the lint stage gates.
+_INJECTED_LINT_SNIPPET = '''\
+import threading
+import numpy as np
+from repro.instrumentation import hot_path
+
+@hot_path
+def bad_kernel(graph, chunk, q):
+    lock = threading.Lock()
+    indices = graph.adj.indices.astype(np.int64)
+    for node in chunk:
+        with lock:
+            pass
+    return indices
+'''
+
+
+def _fuzz_case(seed: int):
+    """A small hub-heavy KB plus a random search problem (mirrors the
+    fused-kernel fuzz population in ``tests/test_fused_kernel.py``)."""
+    from ..core.activation import activation_levels
+    from ..core.weights import node_weights
+    from ..graph.generators import WikiKBConfig, wiki_like_kb
+
+    config = WikiKBConfig(
+        name=f"check-{seed}",
+        seed=seed,
+        n_papers=60,
+        n_people=30,
+        n_misc=30,
+        n_venues=8,
+        n_orgs=8,
+    )
+    graph, _ = wiki_like_kb(config)
+    q = 2 + seed % 7
+    rng = np.random.default_rng(seed * 31 + 7)
+    n = graph.n_nodes
+    sets = [
+        np.unique(rng.integers(0, n, size=int(rng.integers(1, 6))))
+        for _ in range(q)
+    ]
+    if seed % 2:
+        activation = activation_levels(node_weights(graph), 3.0, 0.1)
+    else:
+        activation = np.zeros(n, dtype=np.int32)
+    k = int(rng.integers(1, 12))
+    return graph, sets, activation, k
+
+
+def _run(backend, graph, sets, activation, k):
+    from ..core.bottom_up import BottomUpSearch
+
+    with backend:
+        return BottomUpSearch(graph, backend=backend).run(sets, activation, k)
+
+
+def _contenders(graph) -> Iterable[Tuple[str, Callable[[], object]]]:
+    from ..parallel import (
+        ProcessPoolBackend,
+        ThreadPoolBackend,
+        VectorizedBackend,
+    )
+
+    yield "threads", lambda: ThreadPoolBackend(n_threads=3)
+    yield "threads-fine", lambda: ThreadPoolBackend(
+        n_threads=8, chunks_per_thread=16
+    )
+    yield "vectorized", lambda: VectorizedBackend()
+    yield "vectorized-numpy", lambda: VectorizedBackend(native=False)
+    if ProcessPoolBackend.is_supported():
+        yield "processes", lambda: ProcessPoolBackend(graph, n_processes=2)
+
+
+def run_invariant_fuzz(
+    seeds: Sequence[int] = (0, 1, 2, 3),
+    print_fn: Optional[PrintFn] = None,
+) -> int:
+    """Checked cross-backend fuzz; returns the number of failures."""
+    from ..parallel import SequentialBackend
+
+    emit = print_fn or (lambda message: None)
+    failures = 0
+    for seed in seeds:
+        graph, sets, activation, k = _fuzz_case(seed)
+        reference = _run(
+            CheckedBackend(SequentialBackend()), graph, sets, activation, k
+        )
+        for name, factory in _contenders(graph):
+            checked = CheckedBackend(factory())
+            try:
+                result = _run(checked, graph, sets, activation, k)
+            except AssertionError as exc:
+                emit(f"  FAIL seed {seed} {name}: {exc}")
+                failures += 1
+                continue
+            if not np.array_equal(result.state.matrix, reference.state.matrix):
+                emit(f"  FAIL seed {seed} {name}: M diverged from sequential")
+                failures += 1
+            elif sorted(result.central_nodes) != sorted(
+                reference.central_nodes
+            ):
+                emit(f"  FAIL seed {seed} {name}: central nodes diverged")
+                failures += 1
+            else:
+                emit(
+                    f"  ok seed {seed} {name}: "
+                    f"{checked.levels_checked} level(s) verified"
+                )
+    return failures
+
+
+def run_faulty_validation(print_fn: Optional[PrintFn] = None) -> int:
+    """The checker must fire on every injected fault class."""
+    emit = print_fn or (lambda message: None)
+    failures = 0
+    graph, sets, activation, k = _fuzz_case(2)
+    for mode in FAULT_MODES:
+        faulty = FaultyBackend(mode=mode)
+        checked = CheckedBackend(faulty, raise_on_violation=False)
+        _run(checked, graph, sets, activation, k)
+        if faulty.faults_injected and checked.violations:
+            kinds = sorted({v.invariant for v in checked.violations})
+            emit(f"  ok fault '{mode}' detected as {kinds}")
+        elif not faulty.faults_injected:
+            emit(f"  FAIL fault '{mode}' could not be injected")
+            failures += 1
+        else:
+            emit(f"  FAIL fault '{mode}' went UNDETECTED")
+            failures += 1
+    return failures
+
+
+def _run_external(tool: str, args: Sequence[str], emit: PrintFn) -> int:
+    """Run an optional external tool if installed; 0 when absent."""
+    if shutil.which(tool) is None:
+        emit(f"  {tool}: not installed, skipped (optional dev dependency)")
+        return 0
+    result = subprocess.run(
+        [tool, *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+    if result.returncode == 0:
+        emit(f"  {tool}: clean")
+        return 0
+    tail = (result.stdout + result.stderr).strip().splitlines()[-20:]
+    for line in tail:
+        emit(f"  {tool}: {line}")
+    return 1
+
+
+def _repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent.parent.parent
+
+
+def run_check(
+    inject: Optional[str] = None,
+    skip_sanitize: bool = False,
+    skip_fuzz: bool = False,
+    fuzz_seeds: Sequence[int] = (0, 1, 2, 3),
+    print_fn: PrintFn = print,
+) -> int:
+    """The full gate; returns a process exit code.
+
+    0 = everything clean. 1 = violations found (including the expected
+    outcome of ``--inject``). 2 = an injection was requested but the
+    gate failed to catch it.
+    """
+    emit = print_fn
+    if inject is not None:
+        return _run_injection(inject, emit)
+
+    failures = 0
+
+    emit("[1/4] repo-specific lint (RPR001-RPR008)")
+    report = lint_mod.run_lint()
+    for violation in report.violations:
+        emit(f"  {violation}")
+    emit(
+        f"  {len(report.violations)} violation(s), "
+        f"{len(report.suppressed)} suppressed, "
+        f"{report.files_checked} file(s)"
+    )
+    failures += len(report.violations)
+
+    if skip_fuzz:
+        emit("[2/4] lock-free invariant fuzz: skipped")
+    else:
+        emit("[2/4] lock-free invariant fuzz (CheckedBackend, all backends)")
+        failures += run_invariant_fuzz(seeds=fuzz_seeds, print_fn=emit)
+        emit("  checker self-validation (FaultyBackend)")
+        failures += run_faulty_validation(print_fn=emit)
+
+    if skip_sanitize:
+        emit("[3/4] sanitized kernel tier: skipped")
+    else:
+        emit("[3/4] sanitized kernel tier (REPRO_SANITIZE=address,undefined)")
+        smoke = sanitize_mod.run_smoke()
+        emit(f"  smoke: {'skipped' if smoke.skipped else 'ok' if smoke.ok else 'FAIL'}")
+        if not smoke.ok:
+            emit("  " + smoke.detail.replace("\n", "\n  "))
+            failures += 1
+        if smoke.ok and not smoke.skipped:
+            parity = sanitize_mod.run_parity()
+            emit(
+                "  parity: "
+                + ("skipped" if parity.skipped else "ok" if parity.ok else "FAIL")
+            )
+            if not parity.ok:
+                emit("  " + parity.detail.replace("\n", "\n  "))
+                failures += 1
+
+    emit("[4/4] external linters (optional)")
+    root = _repo_root()
+    failures += _run_external("ruff", ["check", str(root / "src")], emit)
+    failures += _run_external(
+        "mypy",
+        ["--config-file", str(root / "pyproject.toml"),
+         str(root / "src" / "repro" / "parallel"),
+         str(root / "src" / "repro" / "obs")],
+        emit,
+    )
+
+    emit("PASS" if failures == 0 else f"FAIL ({failures} finding(s))")
+    return 0 if failures == 0 else 1
+
+
+def _run_injection(inject: str, emit: PrintFn) -> int:
+    """Seed one violation of the chosen class; 1 = caught, 2 = missed."""
+    if inject == "lint":
+        emit("injecting a hot-path lint violation snippet")
+        violations, _ = lint_mod.lint_source(
+            _INJECTED_LINT_SNIPPET, path="<injected>"
+        )
+        for violation in violations:
+            emit(f"  {violation}")
+        rules = {violation.rule for violation in violations}
+        expected = {"RPR001", "RPR002", "RPR003"}
+        if expected <= rules:
+            emit(f"caught: seeded rules {sorted(expected)} all fired")
+            return 1
+        emit(f"MISSED: only {sorted(rules)} fired, expected {sorted(expected)}")
+        return 2
+    if inject == "race":
+        emit("injecting a non-idempotent racing write (FaultyBackend)")
+        graph, sets, activation, k = _fuzz_case(2)
+        faulty = FaultyBackend(mode="non-idempotent")
+        checked = CheckedBackend(faulty, raise_on_violation=False)
+        _run(checked, graph, sets, activation, k)
+        for violation in checked.violations:
+            emit(f"  {violation}")
+        if faulty.faults_injected and checked.violations:
+            emit("caught: CheckedBackend reported the seeded race")
+            return 1
+        emit("MISSED: seeded race went undetected")
+        return 2
+    if inject == "sanitizer":
+        emit("injecting an out-of-bounds heap write in the smoke fixture")
+        if not sanitize_mod.toolchain_available():
+            emit("sanitizer toolchain unavailable: cannot run the injection")
+            return 2
+        result = sanitize_mod.run_smoke(inject=True)
+        emit("  " + result.detail.replace("\n", "\n  "))
+        if result.ok:
+            emit("caught: the sanitizer aborted on the seeded overflow")
+            return 1
+        emit("MISSED: the seeded overflow was not caught")
+        return 2
+    emit(f"unknown injection class {inject!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(run_check())

@@ -1,0 +1,287 @@
+"""Sanitizer wiring for the compiled kernel tier.
+
+``REPRO_SANITIZE=address,undefined`` makes
+:mod:`repro.parallel._native` compile ``_kernel.c`` with
+``-fsanitize=...`` into its own cached shared object. Loading an
+ASan-instrumented library into a non-ASan Python has two wrinkles this
+module owns:
+
+* the ASan runtime must be the **first** library in the process, so the
+  instrumented ``.so`` cannot be dlopen'd into the current interpreter —
+  every sanitized run is a **subprocess** started with
+  ``LD_PRELOAD=<libasan.so>`` (located via ``cc -print-file-name``);
+* the preloaded runtime then leak-checks the Python interpreter itself
+  at exit, so ``ASAN_OPTIONS=detect_leaks=0`` is required.
+
+Entry points:
+
+* :func:`run_smoke` — compiles the tiny ``_smoke.c`` fixture with the
+  sanitizer flags and executes its clean function in a sanitized
+  subprocess (with ``inject=True``, the deliberately out-of-bounds
+  function instead, asserting the sanitizer *aborts*: proof the wiring
+  is armed, not silently uninstrumented).
+* :func:`run_parity` — runs the cross-backend parity fuzz from
+  :mod:`repro.analysis.check` in a sanitized subprocess with the
+  sanitized native kernel loaded.
+* ``python -m repro.analysis.sanitize --smoke|--parity [--inject]`` —
+  the child-process driver the two functions spawn.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..parallel import _native
+
+#: Default selection for `repro check` and CI.
+DEFAULT_SELECTION = ("address", "undefined")
+
+_SMOKE_SOURCE = Path(__file__).with_name("_smoke.c")
+_BUILD_DIR = Path(__file__).with_name("_build")
+
+
+@dataclass(frozen=True)
+class SanitizeResult:
+    """Outcome of one sanitized subprocess run.
+
+    Attributes:
+        ok: the run met expectations (clean run passed, or an injected
+            fault was caught).
+        detail: the tail of the child's combined output.
+        skipped: the toolchain is unavailable; nothing ran.
+        sanitizer_report: a sanitizer error report appeared anywhere in
+            the child's output.
+    """
+
+    ok: bool
+    detail: str
+    skipped: bool = False
+    sanitizer_report: bool = False
+
+
+def _runtime_library(name: str) -> Optional[str]:
+    """Locate a sanitizer runtime (e.g. ``libasan.so``) via the compiler."""
+    compiler = os.environ.get("CC") or shutil.which("cc") or shutil.which("gcc")
+    if not compiler:
+        return None
+    try:
+        result = subprocess.run(
+            [compiler, f"-print-file-name={name}"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    path = result.stdout.strip()
+    # When the file is unknown the compiler echoes the bare name back.
+    if path and path != name and Path(path).exists():
+        return path
+    return None
+
+
+def toolchain_available(selection: Tuple[str, ...] = DEFAULT_SELECTION) -> bool:
+    """Can this host build and preload the requested sanitizers?"""
+    if "address" in selection and _runtime_library("libasan.so") is None:
+        return False
+    return shutil.which("cc") is not None or shutil.which("gcc") is not None
+
+
+def sanitized_env(
+    selection: Tuple[str, ...] = DEFAULT_SELECTION,
+) -> Dict[str, str]:
+    """Child-process environment for a sanitized run.
+
+    Sets ``REPRO_SANITIZE``, preloads the ASan runtime when requested,
+    disables the (Python-interpreter-wide) leak check, and makes the
+    ``repro`` package importable.
+    """
+    env = dict(os.environ)
+    env[_native.ENV_SANITIZE] = ",".join(selection)
+    env["ASAN_OPTIONS"] = "detect_leaks=0:abort_on_error=0:exitcode=99"
+    src_dir = str(Path(__file__).resolve().parent.parent.parent)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else src_dir + os.pathsep + existing
+    )
+    preload: List[str] = []
+    if "address" in selection:
+        libasan = _runtime_library("libasan.so")
+        if libasan:
+            preload.append(libasan)
+    if "undefined" in selection:
+        libubsan = _runtime_library("libubsan.so")
+        if libubsan:
+            preload.append(libubsan)
+    if preload:
+        existing_preload = env.get("LD_PRELOAD")
+        if existing_preload:
+            preload.append(existing_preload)
+        env["LD_PRELOAD"] = os.pathsep.join(preload)
+    return env
+
+
+def _compile_smoke(selection: Tuple[str, ...]) -> Optional[Path]:
+    """Build the smoke fixture with the sanitizer flags; reuses caching."""
+    source = _SMOKE_SOURCE.read_bytes()
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    tag = ("-" + "-".join(selection)) if selection else ""
+    target = _BUILD_DIR / f"smoke-{digest}{tag}.so"
+    if target.exists():
+        return target
+    if _native._compile(
+        _SMOKE_SOURCE, target, _native.sanitize_cflags(selection)
+    ):
+        return target
+    return None
+
+
+def _spawn(args: List[str], selection: Tuple[str, ...]) -> SanitizeResult:
+    """Run the child driver in a sanitized environment."""
+    cmd = [sys.executable, "-m", "repro.analysis.sanitize", *args]
+    try:
+        result = subprocess.run(
+            cmd,
+            env=sanitized_env(selection),
+            capture_output=True,
+            text=True,
+            timeout=600,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError) as exc:
+        return SanitizeResult(ok=False, detail=f"failed to spawn child: {exc}")
+    combined = result.stdout + result.stderr
+    tail = combined.strip().splitlines()[-12:]
+    # ASAN_OPTIONS pins exitcode=99 for sanitizer aborts; UBSan prints
+    # "runtime error" without necessarily failing the process.
+    reported = (
+        result.returncode == 99
+        or "AddressSanitizer" in combined
+        or "runtime error" in combined
+    )
+    return SanitizeResult(
+        ok=result.returncode == 0,
+        detail="\n".join(tail),
+        sanitizer_report=reported,
+    )
+
+
+def run_smoke(
+    selection: Tuple[str, ...] = DEFAULT_SELECTION, inject: bool = False
+) -> SanitizeResult:
+    """Sanitized smoke run (see module docstring).
+
+    With ``inject=True`` the *faulty* fixture function runs and success
+    means the sanitizer aborted the child. The caller still treats the
+    injected run as a seeded failure — this function reports whether
+    the wiring behaved as commanded.
+    """
+    if not toolchain_available(selection):
+        return SanitizeResult(
+            ok=True, detail="sanitizer toolchain unavailable", skipped=True
+        )
+    args = ["--smoke"]
+    if inject:
+        args.append("--inject")
+    result = _spawn(args, selection)
+    if inject:
+        # The child deliberately trips ASan; "ok" now means "the
+        # sanitizer caught it" (non-zero child exit + a report).
+        caught = not result.ok and result.sanitizer_report
+        return SanitizeResult(
+            ok=caught,
+            detail=result.detail
+            if caught
+            else "injected out-of-bounds write was NOT caught:\n" + result.detail,
+            sanitizer_report=result.sanitizer_report,
+        )
+    return result
+
+
+def run_parity(
+    selection: Tuple[str, ...] = DEFAULT_SELECTION,
+) -> SanitizeResult:
+    """Cross-backend parity fuzz under the sanitized native kernel."""
+    if not toolchain_available(selection):
+        return SanitizeResult(
+            ok=True, detail="sanitizer toolchain unavailable", skipped=True
+        )
+    return _spawn(["--parity"], selection)
+
+
+# ---------------------------------------------------------------------------
+# Child-process driver
+# ---------------------------------------------------------------------------
+def _child_smoke(inject: bool) -> int:
+    selection = _native.sanitize_selection()
+    library_path = _compile_smoke(selection)
+    if library_path is None:
+        print("smoke: failed to compile _smoke.c with sanitizers")
+        return 3
+    library = ctypes.CDLL(str(library_path))
+    for symbol in ("smoke_clean", "smoke_faulty"):
+        fn = getattr(library, symbol)
+        fn.restype = ctypes.c_int64
+        fn.argtypes = [ctypes.c_int64]
+    if inject:
+        print("smoke: calling deliberately out-of-bounds smoke_faulty(64)")
+        value = library.smoke_faulty(64)  # ASan aborts here when armed
+        print(f"smoke: smoke_faulty returned {value} — sanitizer NOT armed")
+        return 4
+    expected = 64 * 63 // 2
+    value = library.smoke_clean(64)
+    if value != expected:
+        print(f"smoke: smoke_clean returned {value}, expected {expected}")
+        return 5
+    print("smoke: clean fixture passed under sanitizers")
+    return 0
+
+
+def _child_parity() -> int:
+    selection = _native.sanitize_selection()
+    if not selection:
+        print("parity: REPRO_SANITIZE is empty in the child")
+        return 3
+    kernel = _native.load_kernel()
+    if kernel is None:
+        print("parity: sanitized native kernel failed to build/load")
+        return 4
+    from .check import run_invariant_fuzz
+
+    failures = run_invariant_fuzz(seeds=(0, 1), print_fn=print)
+    if failures:
+        print(f"parity: {failures} failure(s) under sanitized kernel")
+        return 5
+    print("parity: all backends bit-identical under sanitized native kernel")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Child-process entry point (``python -m repro.analysis.sanitize``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.sanitize",
+        description="child driver for sanitized subprocess runs",
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--smoke", action="store_true")
+    mode.add_argument("--parity", action="store_true")
+    parser.add_argument("--inject", action="store_true")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return _child_smoke(inject=args.inject)
+    return _child_parity()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -279,7 +279,8 @@ def run_kernel_microbench(
         "fused": fused,
         "speedup_expansion": speedup,
         "answers_identical": answers_identical,
-        "generated_unix": time.time(),
+        # Provenance timestamp, not a duration — wall clock is correct.
+        "generated_unix": time.time(),  # noqa: RPR008
     }
     if fused_numpy is not None:
         payload["fused_numpy"] = fused_numpy

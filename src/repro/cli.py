@@ -13,7 +13,10 @@ Commands:
   microbenchmark, written to ``BENCH_kernel.json``;
 * ``profile``  — run one query under the span tracer and emit a Chrome
   trace-event JSON (open in Perfetto / ``chrome://tracing``) or a text
-  flame summary.
+  flame summary;
+* ``check``    — the analysis gate: repo-specific lint, lock-free
+  invariant fuzz through ``CheckedBackend``, and the ASan/UBSan-rebuilt
+  kernel tier (see ``docs/ANALYSIS.md``).
 
 Examples::
 
@@ -145,6 +148,33 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="start, self-query /healthz and one search, then exit "
              "(smoke mode; also used by tests)",
+    )
+
+    check = commands.add_parser(
+        "check",
+        help="static + dynamic analysis gate: repo lint, lock-free "
+             "invariant fuzz (CheckedBackend), sanitized kernel tier",
+    )
+    check.add_argument(
+        "--inject", choices=("lint", "race", "sanitizer"),
+        help="seed one violation of the chosen class to prove the gate "
+             "gates (exit 1 = caught, 2 = missed)",
+    )
+    check.add_argument(
+        "--skip-sanitize", action="store_true",
+        help="skip the ASan/UBSan kernel rebuild (slowest stage)",
+    )
+    check.add_argument(
+        "--skip-fuzz", action="store_true",
+        help="skip the cross-backend invariant fuzz",
+    )
+    check.add_argument(
+        "--fuzz-seeds", type=int, default=4,
+        help="number of fuzz seeds for the invariant stage",
+    )
+    check.add_argument(
+        "--list-rules", action="store_true",
+        help="print the lint rule catalogue and exit",
     )
     return parser
 
@@ -376,6 +406,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .analysis.check import run_check
+    from .analysis.lint import RULES
+
+    if args.list_rules:
+        for rule, summary in sorted(RULES.items()):
+            print(f"{rule}  {summary}")
+        return 0
+    return run_check(
+        inject=args.inject,
+        skip_sanitize=args.skip_sanitize,
+        skip_fuzz=args.skip_fuzz,
+        fuzz_seeds=tuple(range(args.fuzz_seeds)),
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -387,6 +433,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench-kernel": _cmd_bench_kernel,
         "profile": _cmd_profile,
         "serve": _cmd_serve,
+        "check": _cmd_check,
     }
     return handlers[args.command](args)
 

@@ -78,6 +78,11 @@ class SearchState:
         default_factory=lambda: np.empty(0, dtype=np.int32)
     )
     finite_count_stale: bool = False
+    #: Optional :class:`repro.analysis.writelog.WriteLog` interposed by
+    #: :class:`repro.analysis.checked.CheckedBackend`. ``None`` in normal
+    #: operation — kernels pay exactly one ``is not None`` branch per
+    #: call, so the checker is zero-cost when not wrapped.
+    write_log: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Construction (the "Initialization" phase of Fig. 6/7)

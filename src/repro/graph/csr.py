@@ -49,6 +49,12 @@ class CSRAdjacency:
             raise ValueError("indptr must end at len(indices)")
         if np.any(np.diff(self.indptr) < 0):
             raise ValueError("indptr must be non-decreasing")
+        # The adjacency is shared by every backend (including fork-based
+        # worker pools) and all cached views alias it, so the base arrays
+        # are frozen: an accidental in-place edit after construction
+        # would silently desynchronize out/inc/adj and the cached views.
+        for array in (self.indptr, self.indices, self.labels):
+            array.setflags(write=False)
 
     @property
     def n_nodes(self) -> int:
@@ -100,6 +106,8 @@ class CSRAdjacency:
         level paid an O(|E|)-sized ``astype`` copy.
         """
         if self.indices.dtype == np.int64:
+            # Already frozen in __post_init__; return the stored array
+            # so no copy is paid.
             return self.indices
         indices = self.indices.astype(np.int64)
         indices.setflags(write=False)

@@ -11,7 +11,22 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Callable, Dict, Iterator, List, TypeVar
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def hot_path(fn: _F) -> _F:
+    """Mark ``fn`` as kernel hot-path code.
+
+    The marker itself is a no-op at runtime. Functions carrying it are
+    held to the kernel discipline that the repo-specific lint pass
+    (:mod:`repro.analysis.lint`) machine-checks: no locks, no Python
+    per-edge loops, no per-call dtype conversions on fancy-index
+    operands (use the cached int64 CSR views instead).
+    """
+    fn.__hot_path__ = True  # type: ignore[attr-defined]
+    return fn
 
 # Canonical phase names, in the order the paper's figures present them.
 PHASE_INITIALIZATION = "initialization"

@@ -1,8 +1,9 @@
 """Observability configuration: one place for every telemetry switch.
 
-Two environment variables govern the runtime-tunable fast paths, and
-both are read through this module so their spelling and defaults live in
-exactly one place:
+Every ``REPRO_*`` environment variable is registered and read through
+this module so spelling, ownership, and defaults live in exactly one
+place (the ``RPR004`` lint rule in :mod:`repro.analysis.lint` enforces
+registration):
 
 * ``REPRO_OBS`` — the observability kill-switch. ``REPRO_OBS=0``
   disables span tracing and metric recording everywhere (default
@@ -19,6 +20,11 @@ exactly one place:
   installed at benchmark-harness import and the collected spans are
   written there as Chrome trace-event JSON at interpreter exit, so any
   ``benchmarks/bench_*.py`` run can dump a trace without code changes.
+* ``REPRO_SANITIZE`` — comma-separated sanitizer selection
+  (``address``, ``undefined``) for the compiled kernel tier; owned by
+  :mod:`repro.parallel._native`, driven by :mod:`repro.analysis.sanitize`.
+* ``REPRO_DATASET_CACHE`` — dataset cache directory override for the
+  benchmark harness; owned by :mod:`repro.bench.datasets`.
 """
 
 from __future__ import annotations
@@ -38,6 +44,17 @@ ENV_NATIVE_KERNEL = "REPRO_NATIVE_KERNEL"
 #: Chrome-trace output path for benchmark runs (empty/unset = no trace).
 ENV_TRACE = "REPRO_TRACE"
 
+#: Sanitizer selection for the compiled kernel tier, e.g.
+#: ``REPRO_SANITIZE=address,undefined``. Owned by
+#: :mod:`repro.parallel._native` (``ENV_SANITIZE``; a test pins the
+#: equality); orchestrated by :mod:`repro.analysis.sanitize`.
+ENV_SANITIZE = "REPRO_SANITIZE"
+
+#: Dataset download/cache directory override for the benchmark harness.
+#: Owned by :mod:`repro.bench.datasets` (``CACHE_ENV_VAR``; a test pins
+#: the equality).
+ENV_DATASET_CACHE = "REPRO_DATASET_CACHE"
+
 
 def obs_enabled() -> bool:
     """True unless ``REPRO_OBS=0`` vetoes telemetry."""
@@ -52,6 +69,16 @@ def native_kernel_enabled() -> bool:
 def trace_path() -> Optional[str]:
     """The ``REPRO_TRACE`` output path, or ``None``."""
     return os.environ.get(ENV_TRACE) or None
+
+
+def sanitize_value() -> str:
+    """The raw ``REPRO_SANITIZE`` selection string (empty when unset)."""
+    return os.environ.get(ENV_SANITIZE, "")
+
+
+def dataset_cache_dir() -> Optional[str]:
+    """The ``REPRO_DATASET_CACHE`` directory override, or ``None``."""
+    return os.environ.get(ENV_DATASET_CACHE) or None
 
 
 @dataclass(frozen=True)
@@ -78,7 +105,7 @@ class ObsConfig:
         )
 
 
-def maybe_install_env_tracer():
+def maybe_install_env_tracer() -> "Optional[object]":
     """Install a process-global tracer when ``REPRO_TRACE`` is set.
 
     Idempotent: repeated calls return the already-installed tracer. The
@@ -98,7 +125,7 @@ def maybe_install_env_tracer():
     tracer = tracing.Tracer(enabled=True)
     tracing.install_global_tracer(tracer)
 
-    def _dump(tracer=tracer, path=path) -> None:
+    def _dump(tracer: "tracing.Tracer" = tracer, path: str = path) -> None:
         try:
             tracer.write_chrome_trace(path)
         except OSError:  # pragma: no cover - unwritable path at exit

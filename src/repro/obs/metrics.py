@@ -25,9 +25,12 @@ import bisect
 import math
 import re
 import threading
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from .config import obs_enabled
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..instrumentation import KernelCounters
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -276,7 +279,14 @@ class MetricsRegistry:
         self._kinds: Dict[str, str] = {}
         self._helps: Dict[str, str] = {}
 
-    def _get_or_create(self, cls, name: str, help: str, labels: Dict[str, str], **kwargs):
+    def _get_or_create(
+        self,
+        cls: type,
+        name: str,
+        help: str,
+        labels: Dict[str, str],
+        **kwargs: object,
+    ) -> "_Instrument":
         if not _NAME_RE.match(name):
             raise ValueError(f"invalid metric name {name!r}")
         items = _label_items(labels)
@@ -366,7 +376,11 @@ def get_registry() -> MetricsRegistry:
     return _DEFAULT_REGISTRY
 
 
-def record_kernel_counters(counters, tier: str, registry: Optional[MetricsRegistry] = None) -> None:
+def record_kernel_counters(
+    counters: "KernelCounters",
+    tier: str,
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
     """Accumulate one level's :class:`~repro.instrumentation.KernelCounters`.
 
     No-ops when ``REPRO_OBS=0``, so the expansion hot loop pays one env

@@ -39,7 +39,8 @@ import os
 import threading
 import time
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, List, Optional
+from types import TracebackType
+from typing import Any, Callable, ContextManager, Dict, Iterator, List, Optional, Type
 
 from .config import obs_enabled
 
@@ -134,7 +135,12 @@ class _NullContext:
     def __enter__(self) -> _NullSpan:
         return NULL_SPAN
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         return False
 
 
@@ -174,7 +180,9 @@ class Tracer:
         stack = self._stack()
         return stack[-1] if stack else None
 
-    def span(self, name: str, parent: Optional[Span] = None, **attrs):
+    def span(
+        self, name: str, parent: Optional[Span] = None, **attrs: object
+    ) -> ContextManager[Any]:
         """Open a span as a context manager yielding the :class:`Span`.
 
         Args:
@@ -236,7 +244,7 @@ class Tracer:
             label = name or fn.__qualname__
 
             @functools.wraps(fn)
-            def wrapper(*args, **kwargs):
+            def wrapper(*args: object, **kwargs: object) -> object:
                 if not self.enabled:
                     return fn(*args, **kwargs)
                 with self.span(label):
@@ -350,7 +358,9 @@ class NullTracer(Tracer):
     def __init__(self) -> None:
         super().__init__(enabled=False)
 
-    def span(self, name: str, parent: Optional[Span] = None, **attrs):
+    def span(
+        self, name: str, parent: Optional[Span] = None, **attrs: object
+    ) -> ContextManager[Any]:
         return NULL_CONTEXT
 
 

@@ -31,6 +31,18 @@ import numpy as np
 #: Set to "0" to force the pure-NumPy kernel (e.g. for A/B benchmarks).
 ENV_FLAG = "REPRO_NATIVE_KERNEL"
 
+#: Comma-separated sanitizer selection for the native tier, e.g.
+#: ``REPRO_SANITIZE=address,undefined``. A sanitized build is compiled
+#: to its own shared object (the sanitizer set is part of the cache
+#: key), so sanitized and plain kernels coexist in ``_build/``. Loading
+#: an ASan kernel into a non-ASan Python requires the ASan runtime to
+#: be preloaded — :mod:`repro.analysis.sanitize` prepares such an
+#: environment and runs the checks in a subprocess.
+ENV_SANITIZE = "REPRO_SANITIZE"
+
+#: Sanitizers this tier knows how to wire up.
+KNOWN_SANITIZERS = ("address", "undefined")
+
 _SOURCE_PATH = Path(__file__).with_name("_kernel.c")
 _BUILD_DIR = Path(__file__).with_name("_build")
 
@@ -43,6 +55,34 @@ _FLAG_SETS = (
 )
 
 
+def sanitize_selection(value: Optional[str] = None) -> "tuple[str, ...]":
+    """Parse ``REPRO_SANITIZE`` into a sorted tuple of sanitizer names.
+
+    Unknown names raise ``ValueError`` — a typo silently compiling an
+    unsanitized kernel would defeat the whole point.
+    """
+    raw = os.environ.get(ENV_SANITIZE, "") if value is None else value
+    selected = sorted({part.strip() for part in raw.split(",") if part.strip()})
+    unknown = [name for name in selected if name not in KNOWN_SANITIZERS]
+    if unknown:
+        raise ValueError(
+            f"unknown sanitizer(s) {unknown!r} in {ENV_SANITIZE}; "
+            f"known: {', '.join(KNOWN_SANITIZERS)}"
+        )
+    return tuple(selected)
+
+
+def sanitize_cflags(selection: "tuple[str, ...]") -> "tuple[str, ...]":
+    """Extra compile flags for a sanitized build (empty when none)."""
+    if not selection:
+        return ()
+    return (
+        f"-fsanitize={','.join(selection)}",
+        "-fno-omit-frame-pointer",
+        "-g",
+    )
+
+
 def _compilers() -> "list[str]":
     candidates = [os.environ.get("CC"), "cc", "gcc", "clang"]
     seen: "list[str]" = []
@@ -52,7 +92,9 @@ def _compilers() -> "list[str]":
     return seen
 
 
-def _compile(source: Path, target: Path) -> bool:
+def _compile(
+    source: Path, target: Path, extra_flags: "tuple[str, ...]" = ()
+) -> bool:
     """Try every (compiler, flags) pair until one produces ``target``."""
     target.parent.mkdir(parents=True, exist_ok=True)
     for compiler in _compilers():
@@ -62,7 +104,16 @@ def _compile(source: Path, target: Path) -> bool:
             )
             handle.close()
             tmp = Path(handle.name)
-            cmd = [compiler, *flags, "-shared", "-fPIC", str(source), "-o", str(tmp)]
+            cmd = [
+                compiler,
+                *flags,
+                *extra_flags,
+                "-shared",
+                "-fPIC",
+                str(source),
+                "-o",
+                str(tmp),
+            ]
             try:
                 result = subprocess.run(
                     cmd,
@@ -155,10 +206,19 @@ def load_kernel() -> Optional[NativeKernel]:
     if not enabled():
         return None
     try:
+        selection = sanitize_selection()
+    except ValueError:
+        # A typo'd REPRO_SANITIZE must not silently load an unsanitized
+        # kernel; fall back to the NumPy tier instead.
+        return None
+    try:
         source = _SOURCE_PATH.read_bytes()
         digest = hashlib.sha256(source).hexdigest()[:16]
-        so_path = _BUILD_DIR / f"fused_expand-{digest}.so"
-        if not so_path.exists() and not _compile(_SOURCE_PATH, so_path):
+        tag = ("-" + "-".join(selection)) if selection else ""
+        so_path = _BUILD_DIR / f"fused_expand-{digest}{tag}.so"
+        if not so_path.exists() and not _compile(
+            _SOURCE_PATH, so_path, sanitize_cflags(selection)
+        ):
             return None
         return NativeKernel(ctypes.CDLL(str(so_path)))
     except Exception:

@@ -27,6 +27,8 @@ attached :class:`~repro.core.trace.SearchTrace`.
 from __future__ import annotations
 
 import abc
+from types import TracebackType
+from typing import Optional, Type
 
 from ..core.state import SearchState
 from ..graph.csr import KnowledgeGraph
@@ -38,6 +40,13 @@ class ExpansionBackend(abc.ABC):
 
     #: Human-readable name used in benchmark tables.
     name: str = "abstract"
+
+    #: Whether this backend's kernels report their scatter-stores into an
+    #: attached :class:`repro.analysis.writelog.WriteLog`
+    #: (``SearchState.write_log``). Backends whose workers cannot share a
+    #: log (separate processes) leave this ``False``; the invariant
+    #: checker then verifies them from state snapshots alone.
+    supports_write_log: bool = False
 
     #: Destination for expansion spans; the bottom-up loop points this at
     #: the active query's tracer before each run (no-op by default).
@@ -62,7 +71,12 @@ class ExpansionBackend(abc.ABC):
     def __enter__(self) -> "ExpansionBackend":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -72,10 +72,10 @@ def _layout(n: int, q: int) -> "dict[str, tuple[int, int]]":
     return offsets
 
 
-def _views(buffer, n: int, q: int):
+def _views(buffer: memoryview, n: int, q: int) -> "Dict[str, np.ndarray]":
     offsets = _layout(n, q)
 
-    def view(key, dtype, shape):
+    def view(key: str, dtype: type, shape: Tuple[int, ...]) -> np.ndarray:
         start, size = offsets[key]
         return np.frombuffer(buffer, dtype=dtype, count=size // np.dtype(dtype).itemsize,
                              offset=start).reshape(shape)

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from ..core.state import INFINITE_LEVEL, SearchState
 from ..graph.csr import KnowledgeGraph
 from .backend import ExpansionBackend
@@ -39,8 +41,13 @@ def expand_frontier_chunk(
     activation = state.activation
     keyword_node = state.keyword_node
     finite_count = state.finite_count
+    write_log = state.write_log
     next_level = level + 1
     n_keywords = state.n_keywords
+    # Shadow-memory capture (repro.analysis): collect every scatter-store
+    # locally, report once per call. ``None`` in normal operation.
+    logged_cells: "list[int]" = []
+    logged_flags: "list[int]" = []
 
     for node in frontier_chunk:
         node = int(node)
@@ -48,6 +55,8 @@ def expand_frontier_chunk(
             continue
         if activation[node] > level:
             f_identifier[node] = 1
+            if write_log is not None:
+                logged_flags.append(node)
             continue
         neighbors = graph.adj.neighbors(node)
         for column in range(n_keywords):
@@ -61,18 +70,32 @@ def expand_frontier_chunk(
                     continue
                 if not keyword_node[neighbor] and activation[neighbor] > next_level:
                     f_identifier[node] = 1
+                    if write_log is not None:
+                        logged_flags.append(node)
                     continue
                 matrix[neighbor, column] = next_level
                 f_identifier[neighbor] = 1
                 # The ∞-guard above makes this exactly-once per cell, so
                 # the incremental finite-cell count stays exact.
                 finite_count[neighbor] += 1
+                if write_log is not None:
+                    logged_cells.append(neighbor * n_keywords + column)
+                    logged_flags.append(neighbor)
+
+    if write_log is not None:
+        write_log.record_matrix(
+            np.asarray(logged_cells, dtype=np.int64), next_level, level
+        )
+        write_log.record_frontier(
+            np.asarray(logged_flags, dtype=np.int64), 1, level
+        )
 
 
 class SequentialBackend(ExpansionBackend):
     """Single-threaded reference backend (the paper's Tnum = 1 case)."""
 
     name = "sequential"
+    supports_write_log = True
 
     def expand(self, graph: KnowledgeGraph, state: SearchState, level: int) -> None:
         if self.tracer.enabled:

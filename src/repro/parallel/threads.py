@@ -45,6 +45,8 @@ class ThreadPoolBackend(ExpansionBackend):
             overhead. Four mirrors OpenMP dynamic scheduling granularity.
     """
 
+    supports_write_log = True
+
     def __init__(self, n_threads: int = 4, chunks_per_thread: int = 4) -> None:
         if n_threads < 1:
             raise ValueError("n_threads must be positive")
@@ -84,7 +86,9 @@ class ThreadPoolBackend(ExpansionBackend):
             # explicit parent so chunk spans nest under this level.
             parent = self.tracer.current_span()
 
-            def run_chunk(chunk, chunk_counter):
+            def run_chunk(
+                chunk: np.ndarray, chunk_counter: KernelCounters
+            ) -> np.ndarray:
                 with self.tracer.span(
                     "chunk", parent=parent, chunk_size=len(chunk), level=level
                 ):

@@ -52,7 +52,7 @@ import numpy as np
 
 from ..core.state import INFINITE_LEVEL, SearchState
 from ..graph.csr import KnowledgeGraph
-from ..instrumentation import KernelCounters
+from ..instrumentation import KernelCounters, hot_path
 from ..obs.metrics import record_kernel_counters
 from .backend import ExpansionBackend
 
@@ -69,7 +69,7 @@ _LANE_SWAR_OK = sys.byteorder == "little"
 _NATIVE_KERNEL: "object" = None
 
 
-def _native_kernel():
+def _native_kernel() -> "Optional[object]":
     """The compiled C kernel, or ``None`` when it cannot be used."""
     global _NATIVE_KERNEL
     if _NATIVE_KERNEL is None:
@@ -130,6 +130,7 @@ def _gather_neighbors(
     return adj.indices64[positions], offsets
 
 
+@hot_path
 def fused_expand_chunk(
     graph: KnowledgeGraph,
     state: SearchState,
@@ -181,6 +182,7 @@ def fused_expand_chunk(
     matrix = state.matrix
     f_identifier = state.f_identifier
     activation = state.activation
+    write_log = state.write_log
     q = state.n_keywords
     next_level = level + 1
     lanes = q <= _LANES and _LANE_SWAR_OK
@@ -193,6 +195,8 @@ def fused_expand_chunk(
     inactive = activation[chunk] > level
     if inactive.any():
         f_identifier[chunk[inactive]] = 1
+        if write_log is not None:
+            write_log.record_frontier(chunk[inactive], 1, level)
         chunk = chunk[~inactive]
         if len(chunk) == 0:
             return _EMPTY_KEYS
@@ -246,6 +250,12 @@ def fused_expand_chunk(
             )
             if counters is not None:
                 counters.pairs_hit += count
+            if write_log is not None:
+                hit_keys = out_keys[:count]
+                write_log.record_matrix(hit_keys, next_level, level)
+                write_log.record_frontier(
+                    _keys_to_rows(hit_keys, q), 1, level
+                )
             return out_keys[:count]
 
     neighbors, offsets = _gather_neighbors(graph, chunk)
@@ -285,6 +295,8 @@ def fused_expand_chunk(
                 retry = ((se_words & retry_words) != 0) & (degrees > 0)
                 if retry.any():
                     f_identifier[chunk[retry]] = 1
+                    if write_log is not None:
+                        write_log.record_frontier(chunk[retry], 1, level)
         else:
             avail_words = inf_words
         # Per-edge hit ballot: one word AND per edge covers all q
@@ -305,6 +317,8 @@ def fused_expand_chunk(
             if len(rows):
                 matrix[rows, column] = next_level
                 scattered += len(rows)
+                if write_log is not None:
+                    write_log.record_matrix(rows * q + column, next_level, level)
     else:
         # Unpacked (E × q) grid for wide queries: same conditions as the
         # ballot path, one boolean block per condition.
@@ -318,6 +332,8 @@ def fused_expand_chunk(
                 retry = hits.any(axis=1) & blocked
                 if retry.any():
                     f_identifier[chunk[erow[retry]]] = 1
+                    if write_log is not None:
+                        write_log.record_frontier(chunk[erow[retry]], 1, level)
                 hits &= ~blocked[:, None]
         flat = np.flatnonzero(hits)
         if len(flat) == 0:
@@ -335,6 +351,8 @@ def fused_expand_chunk(
         else:  # pragma: no cover - states are always built C-contiguous
             matrix[keys // q, keys % q] = next_level
         scattered = len(keys)
+        if write_log is not None:
+            write_log.record_matrix(keys, next_level, level)
 
     # Read the unique hit set back off the matrix in one O(n·q) pass: a
     # cell was hit by this call iff it was ∞ at entry and is level + 1
@@ -346,6 +364,8 @@ def fused_expand_chunk(
         counters.pairs_hit += len(unique_keys)
         counters.duplicates_elided += scattered - len(unique_keys)
     f_identifier[_keys_to_rows(unique_keys, q)] = 1
+    if write_log is not None and len(unique_keys):
+        write_log.record_frontier(_keys_to_rows(unique_keys, q), 1, level)
     return unique_keys
 
 
@@ -355,6 +375,7 @@ def apply_hit_keys(state: SearchState, keys: np.ndarray) -> None:
         state.record_hits(_keys_to_rows(keys, state.n_keywords))
 
 
+@hot_path
 def pull_expand(
     graph: KnowledgeGraph,
     state: SearchState,
@@ -387,6 +408,7 @@ def pull_expand(
     matrix = state.matrix
     f_identifier = state.f_identifier
     activation = state.activation
+    write_log = state.write_log
     q = state.n_keywords
     next_level = level + 1
     adj = graph.adj
@@ -396,6 +418,8 @@ def pull_expand(
     inactive = activation[frontier] > level
     if inactive.any():
         f_identifier[frontier[inactive]] = 1
+        if write_log is not None:
+            write_log.record_frontier(frontier[inactive], 1, level)
 
     candidates = np.flatnonzero(state.finite_count < q)
     degrees = adj.degree_array[candidates]
@@ -433,6 +457,9 @@ def pull_expand(
     else:  # pragma: no cover - states are always built C-contiguous
         matrix[hit_nodes, col_idx] = next_level
     f_identifier[hit_nodes] = 1
+    if write_log is not None:
+        write_log.record_matrix(keys, next_level, level)
+        write_log.record_frontier(hit_nodes, 1, level)
     return keys
 
 
@@ -461,6 +488,7 @@ class VectorizedBackend(ExpansionBackend):
     """
 
     name = "vectorized"
+    supports_write_log = True
 
     def __init__(
         self, pull_ratio: float = 1.5, native: Optional[bool] = None

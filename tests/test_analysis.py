@@ -1,0 +1,467 @@
+"""Tests for the ``repro.analysis`` package and the ``repro check`` gate.
+
+Covers the shadow-memory invariant checker (CheckedBackend + WriteLog),
+its self-validation against deliberately faulty backends, the
+repo-specific AST lint rules, the sanitizer wiring, and the CLI exit
+codes the CI ``check`` job relies on.
+"""
+
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    FAULT_MODES,
+    CheckedBackend,
+    FaultyBackend,
+    InvariantViolationError,
+    WriteLog,
+    lint_source,
+    run_lint,
+)
+from repro.analysis.check import run_check, run_faulty_validation
+from repro.core.bottom_up import BottomUpSearch
+from repro.graph.generators import WikiKBConfig, wiki_like_kb
+from repro.parallel import (
+    ProcessPoolBackend,
+    SequentialBackend,
+    ThreadPoolBackend,
+    VectorizedBackend,
+)
+
+
+def _kb(seed=3):
+    config = WikiKBConfig(
+        name=f"analysis-{seed}",
+        seed=seed,
+        n_papers=60,
+        n_people=30,
+        n_misc=30,
+        n_venues=8,
+        n_orgs=8,
+    )
+    graph, _ = wiki_like_kb(config)
+    return graph
+
+
+def _problem(graph, seed, q):
+    from repro.core.activation import activation_levels
+    from repro.core.weights import node_weights
+
+    rng = np.random.default_rng(seed)
+    n = graph.n_nodes
+    sets = [
+        np.unique(rng.integers(0, n, size=int(rng.integers(1, 6))))
+        for _ in range(q)
+    ]
+    if seed % 2:
+        activation = activation_levels(node_weights(graph), 3.0, 0.1)
+    else:
+        activation = np.zeros(n, dtype=np.int32)
+    return sets, activation, int(rng.integers(1, 12))
+
+
+def _run(backend, graph, sets, activation, k):
+    with backend:
+        return BottomUpSearch(graph, backend=backend).run(sets, activation, k)
+
+
+# ---------------------------------------------------------------------------
+# WriteLog
+# ---------------------------------------------------------------------------
+def test_write_log_partitions_batches_per_thread():
+    import threading
+
+    log = WriteLog()
+    log.record_matrix(np.array([1, 2, 2]), value=1, level=0)
+
+    def worker():
+        log.record_matrix(np.array([2, 3]), value=1, level=0)
+        log.record_frontier(np.array([7]), value=1, level=0)
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    assert log.n_threads() == 2
+    assert log.n_batches() == 3
+    cells, values = log.matrix_writes()
+    # Duplicates preserved — racing writes are the point.
+    assert sorted(cells.tolist()) == [1, 2, 2, 2, 3]
+    assert set(values.tolist()) == {1}
+    nodes, flag_values = log.frontier_writes()
+    assert nodes.tolist() == [7]
+    assert flag_values.tolist() == [1]
+
+
+def test_write_log_copies_input_arrays():
+    log = WriteLog()
+    cells = np.array([5, 6], dtype=np.int64)
+    log.record_matrix(cells, value=2, level=1)
+    cells[0] = 99
+    recorded, _ = log.matrix_writes()
+    assert recorded.tolist() == [5, 6]
+
+
+# ---------------------------------------------------------------------------
+# CheckedBackend: clean backends pass, bitwise identical to sequential
+# ---------------------------------------------------------------------------
+def _contenders(graph):
+    backends = {
+        "threads": ThreadPoolBackend(n_threads=3),
+        "vectorized": VectorizedBackend(),
+        "vectorized-numpy": VectorizedBackend(native=False),
+    }
+    if ProcessPoolBackend.is_supported():
+        backends["processes"] = ProcessPoolBackend(graph, n_processes=2)
+    return backends
+
+
+@pytest.mark.parametrize("seed", [0, 1, 4])
+def test_checked_backends_clean_and_bitwise_identical(seed):
+    graph = _kb(seed)
+    q = 2 + seed % 7
+    sets, activation, k = _problem(graph, seed * 31 + 7, q)
+    reference = _run(
+        CheckedBackend(SequentialBackend()), graph, sets, activation, k
+    )
+    for name, backend in _contenders(graph).items():
+        checked = CheckedBackend(backend)
+        result = _run(checked, graph, sets, activation, k)
+        assert checked.levels_checked > 0, name
+        assert not checked.violations, name
+        assert np.array_equal(
+            result.state.matrix, reference.state.matrix
+        ), name
+        assert sorted(result.central_nodes) == sorted(
+            reference.central_nodes
+        ), name
+        assert result.depth == reference.depth, name
+
+
+def test_adversarial_chunk_size_one_high_thread_count():
+    """The satellite stress case: chunk size 1 maximizes racing chunks."""
+    graph = _kb(7)
+    sets, activation, k = _problem(graph, 71, q=5)
+    reference = _run(SequentialBackend(), graph, sets, activation, k)
+    # chunks_per_thread=64 with 8 threads splits every frontier down to
+    # single-node chunks (frontiers here are far below 512 nodes).
+    checked = CheckedBackend(
+        ThreadPoolBackend(n_threads=8, chunks_per_thread=64)
+    )
+    result = _run(checked, graph, sets, activation, k)
+    assert not checked.violations
+    assert np.array_equal(result.state.matrix, reference.state.matrix)
+    assert sorted(result.central_nodes) == sorted(reference.central_nodes)
+    assert result.depth == reference.depth
+
+
+def test_checked_backend_is_zero_cost_when_not_wrapped():
+    """No log is attached unless a CheckedBackend interposes one."""
+    graph = _kb(0)
+    sets, activation, k = _problem(graph, 7, q=3)
+    backend = VectorizedBackend()
+    search = BottomUpSearch(graph, backend=backend)
+    result = search.run(sets, activation, k)
+    assert result.state.write_log is None
+
+
+def test_checked_backend_delegates_name_tracer_counters():
+    from repro.obs.tracing import Tracer
+
+    inner = ThreadPoolBackend(n_threads=2)
+    checked = CheckedBackend(inner)
+    assert checked.name == f"checked:{inner.name}"
+    tracer = Tracer(enabled=False)
+    checked.tracer = tracer
+    assert inner.tracer is tracer
+    checked.last_counters = None
+    assert inner.last_counters is None
+    checked.close()
+
+
+# ---------------------------------------------------------------------------
+# FaultyBackend: the checker must catch every injected fault class
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("mode", FAULT_MODES)
+def test_faulty_backend_detected(mode):
+    graph = _kb(2)
+    sets, activation, k = _problem(graph, 2 * 31 + 7, q=4)
+    faulty = FaultyBackend(mode=mode)
+    checked = CheckedBackend(faulty, raise_on_violation=False)
+    _run(checked, graph, sets, activation, k)
+    assert faulty.faults_injected > 0
+    assert checked.violations, f"fault {mode!r} went undetected"
+
+
+def test_faulty_backend_raises_by_default():
+    graph = _kb(2)
+    sets, activation, k = _problem(graph, 2 * 31 + 7, q=4)
+    with pytest.raises(InvariantViolationError) as exc_info:
+        _run(
+            CheckedBackend(FaultyBackend(mode="non-idempotent")),
+            graph, sets, activation, k,
+        )
+    assert exc_info.value.violations
+
+
+def test_faulty_validation_helper_all_modes():
+    assert run_faulty_validation() == 0
+
+
+def test_faulty_backend_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        FaultyBackend(mode="slow")
+
+
+# ---------------------------------------------------------------------------
+# Lint rules
+# ---------------------------------------------------------------------------
+def _rules_of(source):
+    violations, _ = lint_source(textwrap.dedent(source))
+    return {violation.rule for violation in violations}
+
+
+def test_lint_clean_on_real_codebase():
+    report = run_lint()
+    assert report.ok, "\n".join(str(v) for v in report.violations)
+    assert report.files_checked > 50
+
+
+def test_rpr001_lock_in_hot_path():
+    assert "RPR001" in _rules_of(
+        """
+        import threading
+        from repro.instrumentation import hot_path
+
+        @hot_path
+        def kernel(chunk):
+            lock = threading.Lock()
+            with lock:
+                return chunk
+        """
+    )
+
+
+def test_rpr002_per_edge_loop_in_hot_path_but_column_range_allowed():
+    flagged = _rules_of(
+        """
+        from repro.instrumentation import hot_path
+
+        @hot_path
+        def kernel(chunk, q):
+            for node in chunk:
+                pass
+        """
+    )
+    assert "RPR002" in flagged
+    clean = _rules_of(
+        """
+        from repro.instrumentation import hot_path
+
+        @hot_path
+        def kernel(chunk, q):
+            for column in range(q):
+                pass
+        """
+    )
+    assert "RPR002" not in clean
+
+
+def test_rpr003_dtype_conversions_in_hot_path():
+    flagged = _rules_of(
+        """
+        import numpy as np
+        from repro.instrumentation import hot_path
+
+        @hot_path
+        def kernel(graph):
+            idx = graph.adj.indices.astype(np.int64)
+            extra = np.zeros(4, dtype=np.int32)
+            return idx, extra
+        """
+    )
+    assert "RPR003" in flagged
+
+
+def test_rpr004_unregistered_env_var():
+    violations, _ = lint_source(
+        'import os\nflag = os.environ.get("REPRO_TOTALLY_NEW_FLAG")\n'
+    )
+    assert {"RPR004"} == {v.rule for v in violations}
+    # Registered ones pass.
+    clean, _ = lint_source('import os\nflag = os.environ.get("REPRO_OBS")\n')
+    assert not clean
+
+
+def test_rpr005_span_without_parent_in_nested_function():
+    flagged = _rules_of(
+        """
+        def expand(self, level):
+            def run_chunk(chunk):
+                with self.tracer.span("chunk"):
+                    return chunk
+            return run_chunk
+        """
+    )
+    assert "RPR005" in flagged
+    clean = _rules_of(
+        """
+        def expand(self, level):
+            parent = self.tracer.current_span()
+            def run_chunk(chunk):
+                with self.tracer.span("chunk", parent=parent):
+                    return chunk
+            return run_chunk
+        """
+    )
+    assert "RPR005" not in clean
+
+
+def test_rpr006_bare_except():
+    assert "RPR006" in _rules_of(
+        """
+        def f():
+            try:
+                return 1
+            except:
+                return 2
+        """
+    )
+
+
+def test_rpr007_mutable_default():
+    assert "RPR007" in _rules_of("def f(x, acc=[]):\n    return acc\n")
+    assert "RPR007" not in _rules_of("def f(x, acc=None):\n    return acc\n")
+
+
+def test_rpr008_wall_clock_time():
+    assert "RPR008" in _rules_of(
+        "import time\n\ndef f():\n    return time.time()\n"
+    )
+    assert "RPR008" not in _rules_of(
+        "import time\n\ndef f():\n    return time.perf_counter()\n"
+    )
+
+
+def test_noqa_suppresses_specific_rule():
+    source = "import time\n\ndef f():\n    return time.time()  # noqa: RPR008\n"
+    violations, suppressed = lint_source(source)
+    assert not violations
+    assert [s.rule for s in suppressed] == ["RPR008"]
+    # A noqa for a different rule does not suppress.
+    other = "import time\n\ndef f():\n    return time.time()  # noqa: RPR001\n"
+    violations, suppressed = lint_source(other)
+    assert [v.rule for v in violations] == ["RPR008"]
+    assert not suppressed
+
+
+def test_hot_path_marker_is_inert():
+    from repro.instrumentation import hot_path
+    from repro.parallel.vectorized import fused_expand_chunk, pull_expand
+
+    @hot_path
+    def f(x):
+        return x + 1
+
+    assert f(1) == 2
+    assert f.__hot_path__ is True
+    # The real kernels are marked; the sequential oracle is not.
+    assert getattr(fused_expand_chunk, "__hot_path__", False)
+    assert getattr(pull_expand, "__hot_path__", False)
+    from repro.parallel.sequential import expand_frontier_chunk
+
+    assert not getattr(expand_frontier_chunk, "__hot_path__", False)
+
+
+# ---------------------------------------------------------------------------
+# Env-var registry pins
+# ---------------------------------------------------------------------------
+def test_sanitize_env_var_registered_and_pinned():
+    from repro.obs import config
+    from repro.parallel import _native
+
+    assert config.ENV_SANITIZE == _native.ENV_SANITIZE
+
+
+def test_dataset_cache_env_var_registered_and_pinned():
+    from repro.bench import datasets
+    from repro.obs import config
+
+    assert config.ENV_DATASET_CACHE == datasets.CACHE_ENV_VAR
+
+
+# ---------------------------------------------------------------------------
+# Sanitizer wiring (gated on the toolchain; heavy paths live in CI)
+# ---------------------------------------------------------------------------
+def test_sanitize_selection_parsing():
+    from repro.parallel._native import sanitize_cflags, sanitize_selection
+
+    assert sanitize_selection("") == ()
+    assert sanitize_selection("address") == ("address",)
+    assert sanitize_selection("undefined,address") == ("address", "undefined")
+    assert sanitize_cflags(()) == ()
+    assert "-fsanitize=address,undefined" in sanitize_cflags(
+        ("address", "undefined")
+    )
+    with pytest.raises(ValueError):
+        sanitize_selection("adress")
+
+
+def test_sanitize_env_typo_disables_native_tier(monkeypatch):
+    from repro.parallel import _native
+
+    monkeypatch.setenv(_native.ENV_SANITIZE, "bogus")
+    assert _native.load_kernel() is None
+
+
+def test_sanitized_smoke_clean():
+    from repro.analysis import sanitize
+
+    if not sanitize.toolchain_available():
+        pytest.skip("sanitizer toolchain unavailable")
+    result = sanitize.run_smoke()
+    assert result.ok, result.detail
+    assert not result.skipped
+
+
+# ---------------------------------------------------------------------------
+# `repro check` exit codes (the acceptance contract)
+# ---------------------------------------------------------------------------
+def test_run_check_clean_codebase_exits_zero():
+    # Sanitizer stage exercised separately; two fuzz seeds keep this fast.
+    code = run_check(skip_sanitize=True, fuzz_seeds=(0,), print_fn=lambda m: None)
+    assert code == 0
+
+
+def test_cli_check_inject_lint_exits_one(capsys):
+    from repro.cli import main
+
+    assert main(["check", "--inject", "lint"]) == 1
+    assert "RPR001" in capsys.readouterr().out
+
+
+def test_cli_check_inject_race_exits_one(capsys):
+    from repro.cli import main
+
+    assert main(["check", "--inject", "race"]) == 1
+    out = capsys.readouterr().out
+    assert "caught" in out
+
+
+def test_cli_check_inject_sanitizer_exits_one():
+    from repro.analysis import sanitize
+    from repro.cli import main
+
+    if not sanitize.toolchain_available():
+        pytest.skip("sanitizer toolchain unavailable")
+    assert main(["check", "--inject", "sanitizer"]) == 1
+
+
+def test_cli_check_list_rules(capsys):
+    from repro.cli import main
+
+    assert main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("RPR001", "RPR008"):
+        assert rule in out

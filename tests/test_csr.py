@@ -149,3 +149,32 @@ def test_csr_property_neighbors_match_edge_set(data):
     for node in range(n):
         assert sorted(adj.edges_of(node)) == sorted(expected.get(node, []))
     assert adj.n_entries == len(edges)
+
+
+# ---------------------------------------------------------------------------
+# Immutability: the adjacency is shared across backends (and fork pools),
+# so the base arrays and every cached view must reject in-place writes.
+# ---------------------------------------------------------------------------
+def test_base_arrays_are_frozen_after_construction():
+    adj = _adjacency_from(4, [(0, 1, 0), (0, 2, 1), (2, 3, 0)])
+    for array in (adj.indptr, adj.indices, adj.labels):
+        assert not array.flags.writeable
+        with pytest.raises(ValueError):
+            array[0] = 0
+
+
+def test_cached_views_are_frozen_including_already_int64_indices():
+    adj = _adjacency_from(4, [(0, 1, 0), (0, 2, 1), (2, 3, 0)])
+    assert not adj.degree_array.flags.writeable
+    assert not adj.indices64.flags.writeable
+    with pytest.raises(ValueError):
+        adj.indices64[0] = 99
+    # An adjacency whose stored indices are already int64 must hand back
+    # the (frozen) stored array, not a fresh writable one.
+    wide = CSRAdjacency(
+        indptr=np.array([0, 1], dtype=np.int64),
+        indices=np.array([0], dtype=np.int64),
+        labels=np.array([0], dtype=np.int32),
+    )
+    assert wide.indices64 is wide.indices
+    assert not wide.indices64.flags.writeable
