@@ -168,6 +168,185 @@ class CheckedBackend(ExpansionBackend):
                 raise InvariantViolationError(found)
 
     # ------------------------------------------------------------------
+    # Checked whole-level execution
+    # ------------------------------------------------------------------
+    @property
+    def run_level(self):
+        # Raising AttributeError when the wrapped backend has no
+        # ``run_level`` makes BottomUpSearch's feature probe see the
+        # same surface as the bare backend.
+        inner_run_level = getattr(self.inner, "run_level", None)
+        if inner_run_level is None:
+            raise AttributeError("run_level")
+
+        def checked_run_level(graph, state, level, k, may_expand):
+            return self._run_level(
+                inner_run_level, graph, state, level, k, may_expand
+            )
+
+        return checked_run_level
+
+    def _run_level(self, inner_run_level, graph, state, level, k, may_expand):
+        """Run the fused whole-level step, then verify it end to end.
+
+        The fused call spans enqueue + identify + expansion, so beyond
+        the expansion invariants (I1/I2/I4/I5 from the matrix/frontier
+        delta — no write log is attached, letting the inner backend use
+        its native fused path) it verifies the level *orchestration*:
+        the drained frontier matches the pre-call FIdentifier flags, and
+        the newly identified Central Nodes are exactly the frontier
+        nodes whose M row was fully finite at entry (Lemma V.1, stamped
+        at this level).
+        """
+        pre_matrix = state.matrix.copy()
+        pre_fid = state.f_identifier.copy()
+        pre_cid = state.c_identifier.copy()
+        outcome = inner_run_level(graph, state, level, k, may_expand)
+        found = self._verify_level(
+            state, level, outcome, pre_matrix, pre_fid, pre_cid
+        )
+        self.levels_checked += 1
+        if found:
+            self.violations.extend(found)
+            if self.raise_on_violation:
+                raise InvariantViolationError(found)
+        return outcome
+
+    def _verify_level(
+        self,
+        state: SearchState,
+        level: int,
+        outcome,
+        pre_matrix: np.ndarray,
+        pre_fid: np.ndarray,
+        pre_cid: np.ndarray,
+    ) -> List[InvariantViolation]:
+        found: List[InvariantViolation] = []
+        q = state.n_keywords
+        next_level = level + 1
+        matrix = state.matrix.ravel()
+        pre = pre_matrix.ravel()
+
+        # Enqueue: the drained frontier is exactly the pre-call flags.
+        expected_frontier = np.flatnonzero(pre_fid).astype(np.int64)
+        if not np.array_equal(state.frontier, expected_frontier):
+            found.append(
+                InvariantViolation(
+                    "frontier-drain",
+                    level,
+                    f"drained frontier has {len(state.frontier)} node(s), "
+                    f"expected the {len(expected_frontier)} pre-call "
+                    "FIdentifier flags",
+                )
+            )
+
+        changed = np.flatnonzero(matrix != pre)
+        overwritten = changed[pre[changed] != INFINITE_LEVEL]
+        if len(overwritten):
+            found.append(
+                InvariantViolation(
+                    "write-once",
+                    level,
+                    "finite cells overwritten during the fused level: "
+                    + _describe_cells(overwritten, q),
+                )
+            )
+        fresh = changed[pre[changed] == INFINITE_LEVEL]
+        bad_stamp = fresh[matrix[fresh] != next_level]
+        if len(bad_stamp):
+            values = sorted({int(v) for v in matrix[bad_stamp]})
+            found.append(
+                InvariantViolation(
+                    "level-stamp",
+                    level,
+                    f"cells written with value(s) {values} instead of "
+                    f"{next_level}: " + _describe_cells(bad_stamp, q),
+                )
+            )
+
+        # Identification: exactly the frontier nodes whose row was fully
+        # finite at entry (and not yet central), stamped at this level.
+        newly = np.flatnonzero((state.c_identifier == 1) & (pre_cid == 0))
+        expected = expected_frontier[
+            (pre_cid[expected_frontier] == 0)
+            & np.all(
+                pre_matrix[expected_frontier] != INFINITE_LEVEL, axis=1
+            )
+        ]
+        if not np.array_equal(newly, expected):
+            found.append(
+                InvariantViolation(
+                    "central-node",
+                    level,
+                    f"identified {newly[:_MAX_CELLS_REPORTED].tolist()} "
+                    "but the fully-finite frontier rows at entry were "
+                    f"{expected[:_MAX_CELLS_REPORTED].tolist()}",
+                )
+            )
+        if len(newly):
+            bad_level = newly[state.central_level[newly] != level]
+            if len(bad_level):
+                found.append(
+                    InvariantViolation(
+                        "central-node",
+                        level,
+                        "central_level stamp differs from the "
+                        "identification level at nodes "
+                        f"{bad_level[:_MAX_CELLS_REPORTED].tolist()}",
+                    )
+                )
+        demoted = np.flatnonzero((pre_cid == 1) & (state.c_identifier == 0))
+        if len(demoted):
+            found.append(
+                InvariantViolation(
+                    "central-node",
+                    level,
+                    "CIdentifier flags cleared at nodes "
+                    f"{demoted[:_MAX_CELLS_REPORTED].tolist()}",
+                )
+            )
+        if outcome is not None:
+            reported = [node for node, _ in outcome.new_central]
+            if reported != [int(node) for node in newly]:
+                found.append(
+                    InvariantViolation(
+                        "central-node",
+                        level,
+                        "outcome.new_central disagrees with the "
+                        "CIdentifier delta",
+                    )
+                )
+
+        bad_flag = np.flatnonzero(
+            (state.f_identifier != 0) & (state.f_identifier != 1)
+        )
+        if len(bad_flag):
+            found.append(
+                InvariantViolation(
+                    "frontier-value",
+                    level,
+                    f"FIdentifier holds non-boolean values at nodes "
+                    f"{bad_flag[:_MAX_CELLS_REPORTED].tolist()}",
+                )
+            )
+
+        if state.finite_count_usable():
+            recount = (state.matrix != INFINITE_LEVEL).sum(
+                axis=1, dtype=np.int32
+            )
+            wrong = np.flatnonzero(recount != state.finite_count)
+            if len(wrong):
+                found.append(
+                    InvariantViolation(
+                        "finite-count",
+                        level,
+                        "incremental finite_count diverged from recount "
+                        f"at nodes {wrong[:_MAX_CELLS_REPORTED].tolist()}",
+                    )
+                )
+        return found
+
+    # ------------------------------------------------------------------
     def _verify(
         self,
         state: SearchState,

@@ -262,6 +262,51 @@ def _child_parity() -> int:
         print(f"parity: {failures} failure(s) under sanitized kernel")
         return 5
     print("parity: all backends bit-identical under sanitized native kernel")
+
+    # Drive the remaining native entry points under the sanitizers:
+    # the cross-query lane kernel (fused_expand_lanes) and the top-down
+    # fast path (build_hitting_dag + extract_closure). The checked fuzz
+    # above already runs whole_level_step and fused_expand via the
+    # backends' run_level path.
+    import numpy as np
+
+    from ..core.bottom_up import BottomUpSearch
+    from ..core.coalesce import CoalescedBottomUp
+    from ..core.top_down import TopDownConfig, process_top_down
+    from ..core.weights import node_weights
+    from ..parallel.vectorized import VectorizedBackend
+    from .check import _fuzz_case
+
+    graph, sets, activation, k = _fuzz_case(0)
+    solo = BottomUpSearch(graph, backend=VectorizedBackend()).run(
+        sets, activation, k
+    )
+    outcomes = CoalescedBottomUp(graph).run([sets, sets], activation, k)
+    for outcome in outcomes:
+        if not np.array_equal(outcome.state.matrix, solo.state.matrix):
+            print("parity: coalesced lane kernel diverged from solo")
+            return 6
+    print("parity: coalesced lane kernel matches solo under sanitizers")
+
+    weights = node_weights(graph)
+    ranked_native = process_top_down(
+        graph, solo.state, weights, config=TopDownConfig(k=k)
+    )
+    ranked_numpy = process_top_down(
+        graph, solo.state, weights, config=TopDownConfig(k=k, native=False)
+    )
+    native_sig = [
+        (g.central_node, round(g.score, 9), tuple(sorted(g.nodes)))
+        for g in ranked_native
+    ]
+    numpy_sig = [
+        (g.central_node, round(g.score, 9), tuple(sorted(g.nodes)))
+        for g in ranked_numpy
+    ]
+    if native_sig != numpy_sig:
+        print("parity: native top-down diverged from NumPy")
+        return 7
+    print("parity: native top-down matches NumPy under sanitizers")
     return 0
 
 

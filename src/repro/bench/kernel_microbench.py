@@ -1,12 +1,23 @@
-"""Kernel microbenchmark: fused single-pass vs. seed per-column expansion.
+"""Kernel microbenchmark: the expansion-tier ladder on one workload.
 
-The fused kernel rewrite (``repro.parallel.vectorized``) claims that one
-pass over the (E × q) work grid beats q sequential 1-D passes over the
-edge list. This module pins that claim: it keeps a faithful copy of the
-*seed* per-column implementation (including its per-level ``astype``
-adjacency copy and ``indptr`` diffs) as the baseline, runs the same
-query workload through both, and reports per-phase times plus the fused
-kernel's work counters.
+The benchmark pins the performance claims of three successive kernel
+rewrites against a faithful copy of the *seed* per-column
+implementation (including its per-level ``astype`` adjacency copy and
+``indptr`` diffs):
+
+* **fused** — one pass over the (E × q) work grid instead of q
+  sequential 1-D passes (PR 2);
+* **whole-level** — one C call per bottom-up level that fuses frontier
+  compaction, Central-Node identification, expansion and the
+  incremental finite-count update, eliminating the per-level Python
+  orchestration round trips;
+* **warm pool / batched** — serving-side entries: the persistent
+  pinned process pool (Tnum sweep, cold spawn vs. warm reuse) and the
+  cross-query coalesced lane matrix.
+
+Every side reports a per-phase breakdown (expansion vs. level
+orchestration vs. scoring/Central-Graph extraction) so the payload
+shows *where* each rewrite moved time, not just that it moved.
 
 The result payload is written as ``BENCH_kernel.json`` (repo root by
 convention) so the performance trajectory is recorded alongside the
@@ -19,7 +30,7 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -27,18 +38,29 @@ from ..core.engine import EngineConfig, KeywordSearchEngine
 from ..core.state import INFINITE_LEVEL, SearchState
 from ..graph.csr import KnowledgeGraph
 from ..graph.generators import WikiKBConfig, wiki2017_config, wiki2018_config
-from ..instrumentation import PHASE_EXPANSION, PHASE_TOTAL, KernelCounters
+from ..instrumentation import (
+    PHASE_ENQUEUE,
+    PHASE_EXPANSION,
+    PHASE_IDENTIFY,
+    PHASE_INITIALIZATION,
+    PHASE_TOP_DOWN,
+    PHASE_TOTAL,
+    KernelCounters,
+)
 from ..parallel.backend import ExpansionBackend
 from ..parallel.vectorized import VectorizedBackend
 from .datasets import BenchDataset, build_dataset
 
-SCHEMA_VERSION = "repro.bench_kernel/v1"
+SCHEMA_VERSION = "repro.bench_kernel/v2"
 
 #: Size knobs for the pytest smoke test — a few hundred nodes, so the
 #: full microbenchmark path runs in well under a second.
 TINY_SCALE = "tiny"
 
-_REQUIRED_SIDE_KEYS = ("name", "expansion_ms", "total_ms")
+_REQUIRED_SIDE_KEYS = ("name", "expansion_ms", "total_ms", "phases")
+_PHASE_KEYS = ("expansion_ms", "orchestration_ms", "scoring_ms", "total_ms")
+#: Default Tnum sweep for the persistent-pool entry (the paper's Tnum).
+DEFAULT_POOL_TNUMS = (1, 2, 4, 8)
 
 
 def tiny_config(seed: int = 7) -> WikiKBConfig:
@@ -130,19 +152,55 @@ class _CountingVectorizedBackend(VectorizedBackend):
 
     The harness resets the totals at every timing repeat, so the
     reported counters describe exactly one pass over the workload.
+    Counters flow in from both entry points: the step-wise ``expand``
+    and the whole-level ``run_level`` (whose counters live on the
+    returned :class:`~repro.parallel.backend.LevelOutcome`, not on
+    ``last_counters``).
     """
 
     def __init__(self, native: "Optional[bool]" = None) -> None:
         super().__init__(native=native)
         self.totals = KernelCounters()
+        self._in_run_level = False
 
     def reset_totals(self) -> None:
         self.totals = KernelCounters()
 
     def expand(self, graph: KnowledgeGraph, state: SearchState, level: int) -> None:
         super().expand(graph, state, level)
-        if self.last_counters is not None:
+        # The NumPy run_level fallback composes the level from expand(),
+        # whose counters already surface on the LevelOutcome — skip them
+        # here or the level would be counted twice.
+        if self.last_counters is not None and not self._in_run_level:
             self.totals.add(self.last_counters)
+
+    def run_level(
+        self,
+        graph: KnowledgeGraph,
+        state: SearchState,
+        level: int,
+        k: int,
+        may_expand: bool,
+    ):
+        self._in_run_level = True
+        try:
+            outcome = super().run_level(graph, state, level, k, may_expand)
+        finally:
+            self._in_run_level = False
+        if outcome.counters is not None:
+            self.totals.add(outcome.counters)
+        return outcome
+
+
+class _CountingStepBackend(_CountingVectorizedBackend):
+    """The PR-2 fused backend: expansion fused, orchestration in Python.
+
+    Hiding ``run_level`` makes the bottom-up loop fall back to the
+    classic enqueue/identify/expand step sequence, which is exactly the
+    measured shape before the whole-level kernel existed.
+    """
+
+    run_level = None  # type: ignore[assignment]
 
 
 def _answer_signature(result) -> tuple:
@@ -152,12 +210,28 @@ def _answer_signature(result) -> tuple:
     )
 
 
+def _phase_breakdown(timer) -> Dict[str, float]:
+    """Fold the engine's phase timer into the three reported buckets."""
+    orchestration = (
+        timer.get(PHASE_INITIALIZATION)
+        + timer.get(PHASE_ENQUEUE)
+        + timer.get(PHASE_IDENTIFY)
+    )
+    return {
+        "expansion_ms": timer.get(PHASE_EXPANSION),
+        "orchestration_ms": orchestration,
+        "scoring_ms": timer.get(PHASE_TOP_DOWN),
+        "total_ms": timer.get(PHASE_TOTAL),
+    }
+
+
 def _run_side(
     dataset: BenchDataset,
     backend: ExpansionBackend,
     queries: List[str],
     topk: int,
     repeats: int,
+    top_down_native: Optional[bool] = None,
 ) -> "tuple[dict, list]":
     engine = KeywordSearchEngine(
         dataset.graph,
@@ -165,33 +239,185 @@ def _run_side(
         index=dataset.index,
         weights=dataset.weights,
         average_distance=dataset.distance.average,
-        config=EngineConfig(topk=topk),
+        config=EngineConfig(topk=topk, top_down_native=top_down_native),
     )
-    best_expansion = float("inf")
-    best_total = float("inf")
+    best: Optional[Dict[str, float]] = None
     signatures: list = []
     for repeat in range(repeats):
         reset = getattr(backend, "reset_totals", None)
         if reset is not None:
             reset()
-        expansion = 0.0
-        total = 0.0
+        sums = {key: 0.0 for key in _PHASE_KEYS}
         repeat_signatures = []
         for query in queries:
             result = engine.search(query, k=topk)
-            expansion += result.timer.get(PHASE_EXPANSION)
-            total += result.timer.get(PHASE_TOTAL)
+            for key, value in _phase_breakdown(result.timer).items():
+                sums[key] += value
             repeat_signatures.append(_answer_signature(result))
-        best_expansion = min(best_expansion, expansion)
-        best_total = min(best_total, total)
+        # Best-of selects one coherent repeat (by total) so the phase
+        # columns always add up, instead of mixing minima across runs.
+        if best is None or sums["total_ms"] < best["total_ms"]:
+            best = sums
         if repeat == 0:
             signatures = repeat_signatures
+    assert best is not None
+    phases = {key: best[key] * 1e3 for key in _PHASE_KEYS}
     side = {
         "name": backend.name,
-        "expansion_ms": best_expansion * 1e3,
-        "total_ms": best_total * 1e3,
+        "expansion_ms": phases["expansion_ms"],
+        "total_ms": phases["total_ms"],
+        "phases": phases,
     }
     return side, signatures
+
+
+def _warm_pool_entry(
+    dataset: BenchDataset,
+    queries: List[str],
+    topk: int,
+    repeats: int,
+    tnums: Sequence[int],
+) -> Optional[Dict[str, object]]:
+    """Persistent-pool Tnum sweep: warm reuse vs. cold spawn at each Tnum.
+
+    Returns None when fork-based process pools are unavailable on this
+    host. Every sweep row times the workload twice: with pre-warmed
+    persistent workers (stable PIDs, zero respawns expected) and with a
+    fresh private pool constructed per query — exactly the fork/init
+    cost the persistent pool amortizes. The per-row ``warm_speedup``
+    (cold/warm) is the pool's monotone win: spawn cost grows with Tnum,
+    so the warm pool buys more the wider the sweep goes, on any host.
+
+    ``host_cpus`` records how many cores the benchmark process may
+    actually use (``sched_getaffinity``). Wall-clock ``total_ms`` can
+    only *decrease* with Tnum when ``host_cpus >= Tnum`` — the paper's
+    Fig. 9-10 regime; on fewer cores the OS time-slices the workers and
+    the warm_speedup column is the meaningful monotone quantity.
+    """
+    import os
+
+    from ..parallel import pool as pool_module
+    from ..parallel.processes import ProcessPoolBackend
+
+    if not ProcessPoolBackend.is_supported():
+        return None
+
+    def make_engine(backend: ProcessPoolBackend) -> KeywordSearchEngine:
+        return KeywordSearchEngine(
+            dataset.graph,
+            backend=backend,
+            index=dataset.index,
+            weights=dataset.weights,
+            average_distance=dataset.distance.average,
+            config=EngineConfig(topk=topk),
+        )
+
+    def time_queries(engine: KeywordSearchEngine) -> float:
+        start = time.perf_counter()
+        for query in queries:
+            engine.search(query, k=topk)
+        return time.perf_counter() - start
+
+    try:
+        host_cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        host_cpus = os.cpu_count() or 1
+
+    sweep: List[Dict[str, object]] = []
+    try:
+        for tnum in tnums:
+            backend = ProcessPoolBackend(
+                dataset.graph, n_processes=tnum, persistent=True
+            )
+            backend.warm()
+            engine = make_engine(backend)
+            warm_best = min(time_queries(engine) for _ in range(repeats))
+
+            cold_best = float("inf")
+            for _ in range(repeats):
+                elapsed = 0.0
+                for query in queries:
+                    start = time.perf_counter()
+                    cold_backend = ProcessPoolBackend(
+                        dataset.graph, n_processes=tnum, persistent=False
+                    )
+                    make_engine(cold_backend).search(query, k=topk)
+                    elapsed += time.perf_counter() - start
+                    cold_backend.close()
+                cold_best = min(cold_best, elapsed)
+
+            warm_row_ms = warm_best * 1e3
+            cold_row_ms = cold_best * 1e3
+            sweep.append(
+                {
+                    "n_workers": tnum,
+                    "total_ms": warm_row_ms,
+                    "cold_ms": cold_row_ms,
+                    "warm_speedup": (
+                        cold_row_ms / warm_row_ms
+                        if warm_row_ms > 0
+                        else float("inf")
+                    ),
+                    "respawns": backend.respawn_count,
+                }
+            )
+    finally:
+        pool_module.shutdown_all()
+
+    warm_ms = float(sweep[-1]["total_ms"])  # type: ignore[arg-type]
+    cold_ms = float(sweep[-1]["cold_ms"])  # type: ignore[arg-type]
+    return {
+        "host_cpus": host_cpus,
+        "sweep": sweep,
+        "cold_spawn_ms": cold_ms,
+        "warm_ms": warm_ms,
+        "warm_speedup": cold_ms / warm_ms if warm_ms > 0 else float("inf"),
+    }
+
+
+def _batched_entry(
+    dataset: BenchDataset,
+    queries: List[str],
+    topk: int,
+    repeats: int,
+    solo_signatures: list,
+) -> Dict[str, object]:
+    """Cross-query coalesced batch vs. one-query-at-a-time wall clock."""
+    engine = KeywordSearchEngine(
+        dataset.graph,
+        backend=VectorizedBackend(),
+        index=dataset.index,
+        weights=dataset.weights,
+        average_distance=dataset.distance.average,
+        config=EngineConfig(topk=topk),
+    )
+    solo_best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for query in queries:
+            engine.search(query, k=topk)
+        solo_best = min(solo_best, time.perf_counter() - start)
+
+    coalesced_best = float("inf")
+    batch_signatures: list = []
+    for repeat in range(repeats):
+        start = time.perf_counter()
+        results, _failures = engine.search_coalesced(queries, k=topk)
+        coalesced_best = min(coalesced_best, time.perf_counter() - start)
+        if repeat == 0:
+            batch_signatures = [
+                _answer_signature(result) if result is not None else None
+                for result in results
+            ]
+    solo_ms = solo_best * 1e3
+    coalesced_ms = coalesced_best * 1e3
+    return {
+        "n_queries": len(queries),
+        "solo_ms": solo_ms,
+        "coalesced_ms": coalesced_ms,
+        "speedup": solo_ms / coalesced_ms if coalesced_ms > 0 else float("inf"),
+        "answers_identical": batch_signatures == solo_signatures,
+    }
 
 
 def run_kernel_microbench(
@@ -202,8 +428,13 @@ def run_kernel_microbench(
     topk: int = 20,
     seed: int = 13,
     dataset: Optional[BenchDataset] = None,
+    pool_tnums: Optional[Sequence[int]] = DEFAULT_POOL_TNUMS,
 ) -> Dict[str, object]:
-    """Measure seed per-column vs. fused expansion on one workload.
+    """Measure the expansion-tier ladder on one workload.
+
+    Sides: seed per-column baseline, PR-2 fused step path, whole-level
+    kernel path, plus the warm-pool Tnum sweep and the coalesced batch
+    entry (see module docstring).
 
     Args:
         scale: ``wiki2017`` / ``wiki2018`` / ``tiny`` (smoke tests).
@@ -213,6 +444,8 @@ def run_kernel_microbench(
         topk: answers requested per query.
         seed: workload sampling seed.
         dataset: prebuilt dataset override (skips generation).
+        pool_tnums: worker counts for the persistent-pool sweep; None
+            skips the pool entry entirely.
 
     Returns:
         The ``BENCH_kernel.json`` payload (already schema-valid).
@@ -231,37 +464,67 @@ def run_kernel_microbench(
     from ..parallel.vectorized import _native_kernel
 
     native_active = _native_kernel() is not None
+    tier = "native" if native_active else "numpy"
     baseline_backend = LegacyPerColumnBackend()
-    fused_backend = _CountingVectorizedBackend()
-    fused_backend.name = (
-        "fused (native)" if native_active else "fused (numpy)"
-    )
+    fused_backend = _CountingStepBackend()
+    fused_backend.name = f"fused step ({tier})"
+    whole_backend = _CountingVectorizedBackend()
+    whole_backend.name = f"whole-level ({tier})"
+    # Each row runs the *pipeline of its era*: the seed baseline and the
+    # PR-2 fused-step rows keep the NumPy scoring tier they shipped
+    # with, while the whole-level row pairs the whole-level kernel with
+    # the native DAG/closure scoring path. speedup_whole_level is
+    # therefore an end-to-end pipeline-vs-pipeline number.
     baseline, baseline_signatures = _run_side(
-        dataset, baseline_backend, queries, topk, repeats
+        dataset, baseline_backend, queries, topk, repeats,
+        top_down_native=False,
     )
     fused, fused_signatures = _run_side(
-        dataset, fused_backend, queries, topk, repeats
+        dataset, fused_backend, queries, topk, repeats,
+        top_down_native=False,
     )
     fused["counters"] = fused_backend.totals.as_dict()
+    whole_level, whole_signatures = _run_side(
+        dataset, whole_backend, queries, topk, repeats
+    )
+    whole_level["counters"] = whole_backend.totals.as_dict()
 
-    answers_identical = baseline_signatures == fused_signatures
+    answers_identical = (
+        baseline_signatures == fused_signatures
+        and baseline_signatures == whole_signatures
+    )
     fused_numpy = None
     if native_active:
-        # A/B row: the same fused algorithm pinned to the NumPy tier, so
-        # the payload records what the compiled kernel itself buys.
-        numpy_backend = _CountingVectorizedBackend(native=False)
-        numpy_backend.name = "fused (numpy)"
+        # A/B row: the same fused step algorithm pinned to the NumPy
+        # tier, so the payload records what the compiled kernel buys.
+        numpy_backend = _CountingStepBackend(native=False)
+        numpy_backend.name = "fused step (numpy)"
         fused_numpy, numpy_signatures = _run_side(
-            dataset, numpy_backend, queries, topk, repeats
+            dataset, numpy_backend, queries, topk, repeats,
+            top_down_native=False,
         )
         fused_numpy["counters"] = numpy_backend.totals.as_dict()
         answers_identical = (
             answers_identical and baseline_signatures == numpy_signatures
         )
 
+    warm_pool = None
+    if pool_tnums:
+        warm_pool = _warm_pool_entry(
+            dataset, queries, topk, repeats, tuple(pool_tnums)
+        )
+    batched = _batched_entry(
+        dataset, queries, topk, repeats, whole_signatures
+    )
+
     speedup = (
         baseline["expansion_ms"] / fused["expansion_ms"]
         if fused["expansion_ms"] > 0
+        else float("inf")
+    )
+    speedup_whole = (
+        fused["total_ms"] / whole_level["total_ms"]
+        if whole_level["total_ms"] > 0
         else float("inf")
     )
     payload: Dict[str, object] = {
@@ -277,13 +540,18 @@ def run_kernel_microbench(
         "native_kernel": native_active,
         "baseline": baseline,
         "fused": fused,
+        "whole_level": whole_level,
+        "batched": batched,
         "speedup_expansion": speedup,
+        "speedup_whole_level": speedup_whole,
         "answers_identical": answers_identical,
         # Provenance timestamp, not a duration — wall clock is correct.
         "generated_unix": time.time(),  # noqa: RPR008
     }
     if fused_numpy is not None:
         payload["fused_numpy"] = fused_numpy
+    if warm_pool is not None:
+        payload["warm_pool"] = warm_pool
     validate_payload(payload)
     return payload
 
@@ -361,7 +629,7 @@ def validate_payload(payload: Dict[str, object]) -> None:
         value = payload.get(key)
         if not isinstance(value, int) or value <= 0:
             raise ValueError(f"{key} must be a positive integer")
-    side_keys = ["baseline", "fused"]
+    side_keys = ["baseline", "fused", "whole_level"]
     if "fused_numpy" in payload:
         side_keys.append("fused_numpy")
     for side_key in side_keys:
@@ -374,6 +642,15 @@ def validate_payload(payload: Dict[str, object]) -> None:
         for key in ("expansion_ms", "total_ms"):
             if not isinstance(side[key], (int, float)) or side[key] < 0:
                 raise ValueError(f"{side_key}.{key} must be non-negative")
+        phases = side.get("phases")
+        if not isinstance(phases, dict):
+            raise ValueError(f"{side_key}.phases must be a dict")
+        for key in _PHASE_KEYS:
+            value = phases.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(
+                    f"{side_key}.phases.{key} must be non-negative"
+                )
         if side_key == "baseline":
             continue
         counters = side.get("counters")
@@ -391,11 +668,48 @@ def validate_payload(payload: Dict[str, object]) -> None:
                 )
     if not isinstance(payload.get("native_kernel"), bool):
         raise ValueError("native_kernel must be a bool")
-    speedup = payload.get("speedup_expansion")
-    if not isinstance(speedup, (int, float)) or speedup <= 0:
-        raise ValueError("speedup_expansion must be positive")
+    for key in ("speedup_expansion", "speedup_whole_level"):
+        speedup = payload.get(key)
+        if not isinstance(speedup, (int, float)) or speedup <= 0:
+            raise ValueError(f"{key} must be positive")
     if not isinstance(payload.get("answers_identical"), bool):
         raise ValueError("answers_identical must be a bool")
+    batched = payload.get("batched")
+    if not isinstance(batched, dict):
+        raise ValueError("batched must be a dict")
+    for key in ("solo_ms", "coalesced_ms"):
+        value = batched.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ValueError(f"batched.{key} must be non-negative")
+    if not isinstance(batched.get("answers_identical"), bool):
+        raise ValueError("batched.answers_identical must be a bool")
+    if "warm_pool" in payload:
+        warm_pool = payload["warm_pool"]
+        if not isinstance(warm_pool, dict):
+            raise ValueError("warm_pool must be a dict")
+        sweep = warm_pool.get("sweep")
+        if not isinstance(sweep, list) or not sweep:
+            raise ValueError("warm_pool.sweep must be a non-empty list")
+        for row in sweep:
+            if not isinstance(row, dict):
+                raise ValueError("warm_pool.sweep rows must be dicts")
+            if not isinstance(row.get("n_workers"), int) or row["n_workers"] < 1:
+                raise ValueError(
+                    "warm_pool.sweep[].n_workers must be a positive int"
+                )
+            for key in ("total_ms", "cold_ms", "warm_speedup"):
+                value = row.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    raise ValueError(
+                        f"warm_pool.sweep[].{key} must be non-negative"
+                    )
+        for key in ("cold_spawn_ms", "warm_ms"):
+            value = warm_pool.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(f"warm_pool.{key} must be non-negative")
+        cpus = warm_pool.get("host_cpus")
+        if not isinstance(cpus, int) or cpus < 1:
+            raise ValueError("warm_pool.host_cpus must be a positive int")
 
 
 def write_payload(payload: Dict[str, object], path: str) -> None:
@@ -412,25 +726,49 @@ def format_report(payload: Dict[str, object]) -> str:
     if "fused_numpy" in payload:
         sides.append(payload["fused_numpy"])
     sides.append(payload["fused"])
-    counters = payload["fused"]["counters"]  # type: ignore[index]
+    sides.append(payload["whole_level"])
+    counters = payload["whole_level"]["counters"]  # type: ignore[index]
     lines = [
         f"kernel microbenchmark on {payload['dataset']} "
         f"({payload['n_nodes']} nodes, {payload['n_edges']} edges), "
         f"Knum={payload['knum']}, {payload['n_queries']} queries, "
         f"best of {payload['repeats']}:",
-        f"  {'backend':24} {'expansion_ms':>12} {'total_ms':>10}",
+        f"  {'backend':24} {'expansion_ms':>12} {'orchestr_ms':>11} "
+        f"{'scoring_ms':>10} {'total_ms':>10}",
     ]
     for side in sides:
+        phases = side["phases"]  # type: ignore[index]
         lines.append(
-            f"  {side['name']:24} {side['expansion_ms']:12.2f} "  # type: ignore[index]
-            f"{side['total_ms']:10.2f}"  # type: ignore[index]
+            f"  {side['name']:24} {phases['expansion_ms']:12.2f} "  # type: ignore[index]
+            f"{phases['orchestration_ms']:11.2f} "
+            f"{phases['scoring_ms']:10.2f} {phases['total_ms']:10.2f}"
         )
     lines += [
-        f"  expansion speedup: {payload['speedup_expansion']:.2f}x, "
+        f"  expansion speedup (fused vs seed): "
+        f"{payload['speedup_expansion']:.2f}x, "
+        f"whole-level end-to-end vs fused step: "
+        f"{payload['speedup_whole_level']:.2f}x, "
         f"answers identical: {payload['answers_identical']}",
-        f"  fused kernel work: {counters['edges_gathered']} edges gathered, "
-        f"{counters['pairs_hit']} cells hit, "
+        f"  whole-level kernel work: {counters['edges_gathered']} edges "
+        f"gathered, {counters['pairs_hit']} cells hit, "
         f"{counters['duplicates_elided']} duplicates elided, "
         f"{counters['sources_pruned']} sources prefiltered",
     ]
+    warm_pool = payload.get("warm_pool")
+    if isinstance(warm_pool, dict):
+        sweep = ", ".join(
+            f"Tnum={row['n_workers']}: warm {row['total_ms']:.1f}ms "
+            f"/ cold {row['cold_ms']:.1f}ms ({row['warm_speedup']:.2f}x)"
+            for row in warm_pool["sweep"]  # type: ignore[index]
+        )
+        lines.append(
+            f"  warm pool sweep ({warm_pool['host_cpus']} host cpus): "
+            f"{sweep}"
+        )
+    batched = payload["batched"]
+    lines.append(
+        f"  coalesced batch: {batched['coalesced_ms']:.1f}ms vs solo "  # type: ignore[index]
+        f"{batched['solo_ms']:.1f}ms ({batched['speedup']:.2f}x), "  # type: ignore[index]
+        f"answers identical: {batched['answers_identical']}"  # type: ignore[index]
+    )
     return "\n".join(lines)

@@ -29,8 +29,9 @@ from ..instrumentation import (
     PhaseTimer,
 )
 from ..graph.csr import KnowledgeGraph
+from ..obs.config import whole_level_enabled
 from ..obs.tracing import NULL_CONTEXT, NULL_TRACER, Tracer
-from ..parallel.backend import ExpansionBackend
+from ..parallel.backend import ExpansionBackend, LevelOutcome
 from ..parallel.sequential import SequentialBackend
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .trace import SearchTrace
@@ -185,20 +186,39 @@ class BottomUpSearch:
         terminated = TERMINATED_LEVEL_CAP
         profile: List[LevelProfile] = []
         degree_array = self.graph.adj.degree_array
+        # Whole-level fast path: backends exposing ``run_level`` execute
+        # the three joined per-level steps in one call (a single C pass
+        # on the native tier); ``REPRO_WHOLE_LEVEL=0`` pins the classic
+        # loop. The per-call time lands in the expansion phase — the
+        # enqueue/identify orchestration it absorbs is exactly the
+        # overhead the fused level eliminates.
+        run_level = getattr(self.backend, "run_level", None)
+        use_whole_level = run_level is not None and whole_level_enabled()
         while level <= self.lmax:
             level_ctx = (
                 tracer.span("level", level=level) if trace_on else NULL_CONTEXT
             )
             with level_ctx as level_span:
-                with timer.phase(PHASE_ENQUEUE):
-                    n_frontier = state.enqueue_frontiers()
+                outcome: Optional[LevelOutcome] = None
+                if use_whole_level:
+                    with timer.phase(PHASE_EXPANSION):
+                        outcome = run_level(
+                            self.graph, state, level, k, level < self.lmax
+                        )
+                    n_frontier = outcome.n_frontier
+                else:
+                    with timer.phase(PHASE_ENQUEUE):
+                        n_frontier = state.enqueue_frontiers()
                 if n_frontier == 0:
                     terminated = TERMINATED_FRONTIER_EMPTY
                     break
                 if observer is not None:
                     observer.on_level_start(level, n_frontier)
-                with timer.phase(PHASE_IDENTIFY):
-                    found = state.identify_central_nodes(level)
+                if outcome is not None:
+                    found = outcome.new_central
+                else:
+                    with timer.phase(PHASE_IDENTIFY):
+                        found = state.identify_central_nodes(level)
                 if observer is not None and found:
                     observer.on_central_nodes(found)
                 record = LevelProfile(
@@ -218,16 +238,19 @@ class BottomUpSearch:
                     if trace_on:
                         level_span.set_attrs(record.as_span_attributes())
                     break
-                if hasattr(self.backend, "last_counters"):
-                    self.backend.last_counters = None
-                with timer.phase(PHASE_EXPANSION):
-                    self.backend.expand(self.graph, state, level)
-                counters: Optional[KernelCounters] = getattr(
-                    self.backend, "last_counters", None
-                )
-                now_finite = state.total_finite_cells()
-                record.new_hits = now_finite - finite_cells
-                finite_cells = now_finite
+                if outcome is not None:
+                    counters: Optional[KernelCounters] = outcome.counters
+                    record.new_hits = outcome.new_hits
+                    finite_cells += outcome.new_hits
+                else:
+                    if hasattr(self.backend, "last_counters"):
+                        self.backend.last_counters = None
+                    with timer.phase(PHASE_EXPANSION):
+                        self.backend.expand(self.graph, state, level)
+                    counters = getattr(self.backend, "last_counters", None)
+                    now_finite = state.total_finite_cells()
+                    record.new_hits = now_finite - finite_cells
+                    finite_cells = now_finite
                 if counters is not None:
                     record.edges_scanned = counters.edges_gathered
                 else:

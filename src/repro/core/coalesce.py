@@ -1,0 +1,397 @@
+"""Cross-query coalesced bottom-up expansion (batched lane widening).
+
+The solo kernels carry one query's q ≤ 8 BFS instances as byte lanes of
+a single uint64 word per node, so every per-edge hit test is one word
+AND. This module widens that layout *across queries*: B concurrent
+queries' keyword columns are laid side by side in one (|V| × Σq_b) wide
+matrix, W = ⌈Σq_b / 8⌉ lane words per node, and one kernel pass per BFS
+level (``fused_expand_lanes``) advances every query at once. The CSR
+row of each frontier node is then gathered once per level for the whole
+batch instead of once per query — the serving-side analogue of the
+paper's inter-query motivation (ten thousand queries share one graph).
+
+Semantics are the solo algorithm's, query by query:
+
+* Each query owns its lane range. Writes only ever touch the owning
+  query's lanes, so lanes of different queries never interact.
+* Central-node identification, the activation gate and the
+  blocked/retry protocol (Algorithm 2 line 18-20) are applied per
+  query: the per-node blocked test ``activation > level + 1`` is
+  shared (activation depends only on α), while the keyword-node
+  exemption is per lane via a per-query keyword word.
+* When a query terminates (k central nodes, or the level cap), its
+  lanes are **frozen** — dropped from every subsequent eligibility
+  word — so its matrix columns stay exactly at the solo-final values.
+
+The one shared structure is the FIdentifier/frontier: a node flagged by
+*any* query joins the joint frontier (iBFS-style). A node in the shared
+frontier only for query a contributes nothing to query b: its b-lanes
+are either ∞ (ineligible) or were fully expanded when b's own flag
+drained (a source with writable work for a lane is always re-flagged by
+the writer or the retry protocol), so per-query matrices, central-node
+sets and identification levels are *identical* to B solo runs. Two
+shared-loop metadata fields are approximate for queries that answer
+nothing: ``depth`` and ``levels_executed`` report the shared loop's
+level, which may exceed the level at which that query's solo frontier
+would have drained.
+
+Used by :meth:`repro.core.engine.KeywordSearchEngine.search_coalesced`
+and surfaced as ``BatchSearcher(coalesce=True)``; without the compiled
+tier a per-lane NumPy driver runs the same protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..instrumentation import KernelCounters
+from ..graph.csr import KnowledgeGraph
+from ..parallel.vectorized import _gather_neighbors, _native_kernel
+from .state import (
+    INFINITE_LEVEL,
+    MAX_LEVEL,
+    TERMINATED_ENOUGH_ANSWERS,
+    TERMINATED_FRONTIER_EMPTY,
+    TERMINATED_LEVEL_CAP,
+    SearchState,
+)
+
+_WORD_LANES = 8
+
+
+@dataclass
+class CoalescedOutcome:
+    """One query's share of a coalesced run.
+
+    Attributes:
+        state: a full per-query :class:`SearchState` (contiguous matrix,
+            central nodes in identification order, exact finite counts)
+            — drop-in input for :func:`repro.core.top_down.process_top_down`.
+        depth: max central-node identification level (exact whenever the
+            query found any central node; the shared loop's last level
+            otherwise).
+        levels_executed: expansion levels before this query terminated.
+        terminated: one of the ``TERMINATED_*`` reasons.
+    """
+
+    state: SearchState
+    depth: int
+    levels_executed: int
+    terminated: str
+
+
+@dataclass
+class _Slot:
+    """Per-query bookkeeping inside one coalesced run."""
+
+    lo: int
+    q: int
+    k: int
+    keyword_node: np.ndarray
+    c_identifier: np.ndarray
+    central_level: np.ndarray
+    central_nodes: List[Tuple[int, int]] = field(default_factory=list)
+    live: bool = True
+    terminated: str = TERMINATED_LEVEL_CAP
+    end_level: int = 0
+
+    @property
+    def hi(self) -> int:
+        return self.lo + self.q
+
+
+class CoalescedBottomUp:
+    """Drives several queries' bottom-up stages through one lane matrix.
+
+    Args:
+        graph: the shared knowledge graph.
+        lmax: per-query BFS level cap (same meaning as
+            :class:`~repro.core.bottom_up.BottomUpSearch`).
+        native: ``False`` pins the per-lane NumPy driver; ``None``/
+            ``True`` use ``fused_expand_lanes`` when compiled.
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        lmax: int = 24,
+        native: Optional[bool] = None,
+    ) -> None:
+        if not (1 <= lmax <= MAX_LEVEL):
+            raise ValueError(f"lmax must be in [1, {MAX_LEVEL}], got {lmax}")
+        self.graph = graph
+        self.lmax = lmax
+        self._kernel = _native_kernel() if native is not False else None
+        self.last_counters: Optional[KernelCounters] = None
+
+    def run(
+        self,
+        keyword_node_sets: Sequence[Sequence[np.ndarray]],
+        activation: np.ndarray,
+        k: int,
+    ) -> List[CoalescedOutcome]:
+        """Run every query's bottom-up stage in one coalesced loop.
+
+        Args:
+            keyword_node_sets: one entry per query; each entry is that
+                query's per-keyword source-node arrays (all non-empty).
+            activation: shared per-node activation levels (one α for the
+                whole batch).
+            k: top-k target applied to every query.
+
+        Returns:
+            One :class:`CoalescedOutcome` per query, in input order.
+        """
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        n = self.graph.n_nodes
+        activation = np.asarray(activation, dtype=np.int32)
+        if len(activation) != n:
+            raise ValueError("activation array must have one entry per node")
+        for b, sets in enumerate(keyword_node_sets):
+            if len(sets) == 0:
+                raise ValueError(f"query {b} has no keywords")
+            for column, nodes in enumerate(sets):
+                if len(nodes) == 0:
+                    raise ValueError(
+                        f"query {b} keyword column {column} has an empty "
+                        "source set; drop unmatched keywords first"
+                    )
+
+        lanes = sum(len(sets) for sets in keyword_node_sets)
+        n_words = (lanes + _WORD_LANES - 1) // _WORD_LANES
+        row_q = n_words * _WORD_LANES
+        wide = np.full((n, row_q), INFINITE_LEVEL, dtype=np.uint8)
+        fid = np.zeros(n, dtype=np.uint8)
+
+        slots: List[_Slot] = []
+        lo = 0
+        for sets in keyword_node_sets:
+            keyword_node = np.zeros(n, dtype=bool)
+            for column, nodes in enumerate(sets):
+                nodes = np.asarray(nodes, dtype=np.int64)
+                wide[nodes, lo + column] = 0
+                fid[nodes] = 1
+                keyword_node[nodes] = True
+            q = len(sets)
+            slots.append(
+                _Slot(
+                    lo=lo,
+                    q=q,
+                    k=k,
+                    keyword_node=keyword_node,
+                    c_identifier=np.zeros(n, dtype=np.uint8),
+                    central_level=np.full(n, -1, dtype=np.int16),
+                )
+            )
+            lo += q
+
+        kernel = self._kernel
+        counters = KernelCounters()
+        adj = self.graph.adj
+        max_activation = int(activation.max()) if n else 0
+        kw_words: Optional[np.ndarray] = None
+        out_keys: Optional[np.ndarray] = None
+        out_counts = np.zeros(4, dtype=np.int64)
+        if kernel is not None:
+            kw8 = np.zeros((n, row_q), dtype=np.uint8)
+            for slot in slots:
+                kw8[:, slot.lo:slot.hi] = slot.keyword_node[:, None].astype(
+                    np.uint8
+                )
+            kw_words = kw8.view(np.uint64)
+            out_keys = np.empty(wide.size, dtype=np.int64)
+
+        level = 0
+        while level <= self.lmax and any(slot.live for slot in slots):
+            frontier = np.flatnonzero(fid).astype(np.int64)
+            fid[:] = 0
+            if len(frontier) == 0:
+                for slot in slots:
+                    if slot.live:
+                        slot.live = False
+                        slot.terminated = TERMINATED_FRONTIER_EMPTY
+                        slot.end_level = level
+                break
+
+            # Identify central nodes per query (Lemma V.1), then apply
+            # each query's own termination rule. Identification covers
+            # the full drained frontier — activation-deferred nodes
+            # included — exactly like the solo loop.
+            for slot in slots:
+                if not slot.live:
+                    continue
+                candidates = frontier[slot.c_identifier[frontier] == 0]
+                if len(candidates):
+                    # Completeness straight off the candidates' lane
+                    # range (frontier-sized gather) — cheaper than
+                    # maintaining per-query finite counts over all of V.
+                    newly = candidates[
+                        (
+                            wide[candidates, slot.lo:slot.hi]
+                            != INFINITE_LEVEL
+                        ).all(axis=1)
+                    ]
+                    if len(newly):
+                        slot.c_identifier[newly] = 1
+                        slot.central_level[newly] = level
+                        slot.central_nodes.extend(
+                            (int(node), level) for node in newly
+                        )
+                if len(slot.central_nodes) >= slot.k:
+                    slot.live = False
+                    slot.terminated = TERMINATED_ENOUGH_ANSWERS
+                    slot.end_level = level
+                elif level == self.lmax:
+                    slot.live = False
+                    slot.terminated = TERMINATED_LEVEL_CAP
+                    slot.end_level = level
+            if not any(slot.live for slot in slots):
+                break
+
+            # Sources: active frontier nodes; inactive ones re-flag and
+            # wait (Algorithm 2 line 5-7, shared — α is batch-wide).
+            inactive = activation[frontier] > level
+            if inactive.any():
+                fid[frontier[inactive]] = 1
+                sources = frontier[~inactive]
+            else:
+                sources = frontier
+            if len(sources) == 0:
+                level += 1
+                continue
+
+            # Per-lane eligibility: hit at ≤ level, owning query still
+            # live, source not central for that query. Frozen queries'
+            # columns stay at their solo-final values from here on.
+            se8 = wide[sources] <= level
+            for slot in slots:
+                if not slot.live:
+                    se8[:, slot.lo:slot.hi] = False
+                elif slot.central_nodes:
+                    central_src = slot.c_identifier[sources] == 1
+                    if central_src.any():
+                        se8[central_src, slot.lo:slot.hi] = False
+            eligible = se8.any(axis=1)
+            if not eligible.all():
+                counters.sources_pruned += int(
+                    len(sources) - eligible.sum()
+                )
+                sources = sources[eligible]
+                se8 = se8[eligible]
+            if len(sources) == 0:
+                level += 1
+                continue
+
+            next_level = level + 1
+            may_block = max_activation > next_level
+            if kernel is not None:
+                # Bool lanes are 0/1 bytes already; reinterpreting the
+                # contiguous (sources × lanes) block as words is free.
+                se_words = se8.view(np.uint8).view(np.uint64)
+                count = kernel.expand_lanes(
+                    np.ascontiguousarray(sources),
+                    se_words,
+                    n_words,
+                    adj.indptr,
+                    adj.indices,
+                    wide.reshape(-1),
+                    kw_words if may_block else None,
+                    activation,
+                    fid,
+                    next_level,
+                    out_keys,
+                    out_counts,
+                )
+                counters.edges_gathered += int(
+                    adj.degree_array[sources].sum()
+                )
+                counters.pairs_hit += count
+                counters.duplicates_elided += int(out_counts[1])
+            else:
+                self._expand_numpy(
+                    sources, se8, wide, slots, activation, fid,
+                    next_level, may_block, counters,
+                )
+            level += 1
+
+        self.last_counters = counters
+        return [self._finish(slot, activation, wide) for slot in slots]
+
+    # ------------------------------------------------------------------
+    def _expand_numpy(
+        self,
+        sources: np.ndarray,
+        se8: np.ndarray,
+        wide: np.ndarray,
+        slots: List[_Slot],
+        activation: np.ndarray,
+        fid: np.ndarray,
+        next_level: int,
+        may_block: bool,
+        counters: KernelCounters,
+    ) -> None:
+        """Per-lane NumPy expansion with the solo per-column semantics."""
+        for slot in slots:
+            if not slot.live:
+                continue
+            for column in range(slot.q):
+                lane = slot.lo + column
+                lane_sources = sources[se8[:, lane]]
+                if len(lane_sources) == 0:
+                    continue
+                neighbors, _ = _gather_neighbors(self.graph, lane_sources)
+                if len(neighbors) == 0:
+                    continue
+                counters.edges_gathered += len(neighbors)
+                origins = np.repeat(
+                    lane_sources,
+                    self.graph.adj.degree_array[lane_sources],
+                )
+                open_cells = wide[neighbors, lane] == INFINITE_LEVEL
+                if may_block:
+                    blocked = ~slot.keyword_node[neighbors] & (
+                        activation[neighbors] > next_level
+                    )
+                    retry = open_cells & blocked
+                    if retry.any():
+                        fid[origins[retry]] = 1
+                    open_cells &= ~blocked
+                targets = neighbors[open_cells]
+                if len(targets) == 0:
+                    continue
+                wide[targets, lane] = next_level
+                fid[targets] = 1
+                unique = len(np.unique(targets))
+                counters.pairs_hit += unique
+                counters.duplicates_elided += len(targets) - unique
+
+    def _finish(
+        self, slot: _Slot, activation: np.ndarray, wide: np.ndarray
+    ) -> CoalescedOutcome:
+        matrix = np.ascontiguousarray(wide[:, slot.lo:slot.hi])
+        state = SearchState(
+            matrix=matrix,
+            f_identifier=np.zeros(len(activation), dtype=np.uint8),
+            c_identifier=slot.c_identifier,
+            keyword_node=slot.keyword_node,
+            activation=activation,
+            central_level=slot.central_level,
+            central_nodes=slot.central_nodes,
+            finite_count=(matrix != INFINITE_LEVEL).sum(
+                axis=1, dtype=np.int32
+            ),
+        )
+        if slot.central_nodes:
+            depth = max(level for _, level in slot.central_nodes)
+        else:
+            depth = slot.end_level
+        return CoalescedOutcome(
+            state=state,
+            depth=depth,
+            levels_executed=slot.end_level,
+            terminated=slot.terminated,
+        )

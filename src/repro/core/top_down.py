@@ -15,6 +15,7 @@ union of hitting paths that Definition 3 prescribes.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
@@ -23,6 +24,7 @@ import numpy as np
 
 from ..instrumentation import PHASE_TOP_DOWN, PhaseTimer
 from ..graph.csr import KnowledgeGraph
+from ..parallel.vectorized import _native_kernel
 from .central_graph import CentralGraph
 from .scoring import DEFAULT_LAMBDA, TopKHeap, central_graph_score
 from .state import INFINITE_LEVEL, SearchState
@@ -52,9 +54,76 @@ class HittingDAG:
     identified at level ℓ only qualifies for targets hit at level ≤ ℓ.
     Without this filter, extraction recovers paths the bottom-up search
     never walked (verified against the path-recording CPU-Par-d variant).
+
+    Two tiers build the identical relation: the per-column NumPy passes
+    below (always available, and the measured legacy baseline), and a
+    single C sweep over the (edge, column) grid
+    (:mod:`repro.parallel._native`, ``build_hitting_dag``) selected
+    automatically when the compiled kernel is loaded. ``native=False``
+    pins the NumPy build.
     """
 
-    def __init__(self, graph: KnowledgeGraph, state: SearchState) -> None:
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        state: SearchState,
+        native: Optional[bool] = None,
+    ) -> None:
+        self.n_keywords = state.n_keywords
+        self._indptr: List[np.ndarray] = []
+        self._preds: List[np.ndarray] = []
+        self._stacked: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._matrix: Optional[np.ndarray] = None
+        self._n_nodes = graph.n_nodes
+        self._local = threading.local()
+        self._kernel = _native_kernel() if native is not False else None
+        if (
+            self._kernel is not None
+            and state.matrix.flags.c_contiguous
+            and self._build_native(graph, state)
+        ):
+            return
+        self._build_numpy(graph, state)
+
+    def _build_native(
+        self, graph: KnowledgeGraph, state: SearchState
+    ) -> bool:
+        n = graph.n_nodes
+        q = state.n_keywords
+        adj = graph.adj
+        n_edges = int(adj.indptr[n])
+        out_indptr = np.empty((q, n + 1), dtype=np.int64)
+        out_preds = np.empty((q, max(n_edges, 1)), dtype=np.int64)
+        out_counts = np.zeros(q, dtype=np.int64)
+        self._kernel.build_hitting_dag(
+            adj.indptr,
+            adj.indices,
+            state.matrix.reshape(-1),
+            q,
+            state.activation,
+            state.keyword_node.view(np.uint8),
+            state.central_level,
+            out_indptr.reshape(-1),
+            out_preds.reshape(-1),
+            out_counts,
+        )
+        # Compact the used prefixes into one stacked block (so the q x E
+        # scratch is freed) shared by the per-column views and the
+        # one-call-per-Central-Node extract_graph kernel.
+        col_offsets = np.zeros(q + 1, dtype=np.int64)
+        np.cumsum(out_counts, out=col_offsets[1:])
+        preds_all = np.empty(max(int(col_offsets[-1]), 1), dtype=np.int64)
+        for column in range(q):
+            lo = int(col_offsets[column])
+            hi = int(col_offsets[column + 1])
+            preds_all[lo:hi] = out_preds[column, : hi - lo]
+            self._indptr.append(out_indptr[column])
+            self._preds.append(preds_all[lo:hi])
+        self._stacked = (out_indptr, preds_all, col_offsets)
+        self._matrix = state.matrix
+        return True
+
+    def _build_numpy(self, graph: KnowledgeGraph, state: SearchState) -> None:
         matrix = state.matrix
         activation = state.activation.astype(np.int64)
         indptr = graph.adj.indptr
@@ -66,9 +135,6 @@ class HittingDAG:
         # A non-keyword target cannot have been hit before its activation.
         floor = np.where(state.keyword_node, 0, activation - 1)
 
-        self.n_keywords = state.n_keywords
-        self._indptr: List[np.ndarray] = []
-        self._preds: List[np.ndarray] = []
         for column in range(state.n_keywords):
             target_levels = matrix[flat_targets, column].astype(np.int64)
             pred_levels = matrix[flat_preds, column].astype(np.int64)
@@ -103,6 +169,55 @@ class HittingDAG:
     def column_arrays(self, column: int) -> "tuple[np.ndarray, np.ndarray]":
         """The CSR (indptr, preds) pair for one keyword's hitting DAG."""
         return self._indptr[column], self._preds[column]
+
+    def extract_native(
+        self, central_node: int
+    ) -> "Optional[tuple[np.ndarray, np.ndarray]]":
+        """All-column closure of one Central Node in one kernel call.
+
+        Returns ``(nodes, pairs)`` — deduplicated closure nodes and the
+        (pred, target) pair rows (deduplicated within each column; the
+        caller dedups across columns) — or None when the native stacked
+        build is unavailable. The returned arrays are views into
+        per-thread scratch: consume them before the next call on the
+        same thread.
+        """
+        if self._stacked is None or self._kernel is None:
+            return None
+        scratch = getattr(self._local, "extract_scratch", None)
+        if scratch is None:
+            n = self._n_nodes
+            total = int(self._stacked[2][-1])
+            scratch = (
+                np.zeros(n, dtype=np.uint8),  # visited (per column)
+                np.zeros(n, dtype=np.uint8),  # seen (across columns)
+                np.empty(n, dtype=np.int64),  # DFS stack
+                np.empty(n, dtype=np.int64),  # per-column visited list
+                np.empty(n, dtype=np.int64),  # out_nodes
+                np.empty(2 * max(total, 1), dtype=np.int64),  # out_pairs
+                np.zeros(2, dtype=np.int64),  # n_out
+            )
+            self._local.extract_scratch = scratch
+        visited, seen, stack, col_nodes, out_nodes, out_pairs, n_out = scratch
+        indptr_all, preds_all, col_offsets = self._stacked
+        assert self._matrix is not None
+        n_nodes, n_pairs = self._kernel.extract_graph(
+            indptr_all.reshape(-1),
+            preds_all,
+            col_offsets,
+            self._matrix.reshape(-1),
+            self._n_nodes,
+            self.n_keywords,
+            central_node,
+            visited,
+            seen,
+            stack,
+            col_nodes,
+            out_nodes,
+            out_pairs,
+            n_out,
+        )
+        return out_nodes[:n_nodes], out_pairs[: 2 * n_pairs].reshape(-1, 2)
 
 
 def extract_central_graph(
@@ -153,6 +268,63 @@ def extract_central_graph(
                 if matrix[pred, column] > 0 and (pred, column) not in visited:
                     visited.add((pred, column))
                     stack.append((pred, column))
+    elif (
+        getattr(dag, "extract_native", None) is not None
+        and (bulk := dag.extract_native(central_node)) is not None
+    ):
+        # Native whole-graph closure: all contributing columns walked in
+        # one C call against the stacked DAG, with scratch buffers
+        # reused across Central Nodes (per thread). Produces the same
+        # node and edge sets as the per-column tiers below.
+        closure_nodes, pairs = bulk
+        nodes.update(map(int, closure_nodes.tolist()))
+        if len(pairs):
+            n = graph.n_nodes
+            keys = np.unique(pairs[:, 0] * np.int64(n) + pairs[:, 1])
+            edge_preds, edge_targets = np.divmod(keys, np.int64(n))
+            edges.update(zip(edge_preds.tolist(), edge_targets.tolist()))
+    elif getattr(dag, "_kernel", None) is not None:
+        # Native closure: one C DFS per contributing keyword column,
+        # emitting the closure's nodes and (pred, target) edges in bulk;
+        # cross-column dedup happens on flat int64 edge keys instead of
+        # per-level Python set updates. Produces the same node and edge
+        # sets as the NumPy walk below.
+        n = graph.n_nodes
+        kernel = dag._kernel
+        visited = np.zeros(n, dtype=np.uint8)
+        scratch = np.empty(n, dtype=np.int64)
+        out_nodes = np.empty(n, dtype=np.int64)
+        n_out = np.zeros(2, dtype=np.int64)
+        node_parts: List[np.ndarray] = []
+        pair_parts: List[np.ndarray] = []
+        for column in range(n_keywords):
+            if matrix[central_node, column] == 0:
+                continue
+            indptr, preds = dag.column_arrays(column)
+            out_pairs = np.empty(2 * max(len(preds), 1), dtype=np.int64)
+            n_nodes, n_pairs = kernel.extract_closure(
+                indptr,
+                preds,
+                central_node,
+                visited,
+                scratch,
+                out_nodes,
+                out_pairs,
+                n_out,
+            )
+            closure_nodes = out_nodes[:n_nodes]
+            visited[closure_nodes] = 0
+            node_parts.append(closure_nodes.copy())
+            pair_parts.append(out_pairs[: 2 * n_pairs].copy())
+        if node_parts:
+            nodes.update(map(int, np.unique(np.concatenate(node_parts))))
+        if pair_parts:
+            pairs = np.concatenate(pair_parts).reshape(-1, 2)
+            keys = np.unique(pairs[:, 0] * np.int64(n) + pairs[:, 1])
+            edge_preds, edge_targets = np.divmod(keys, np.int64(n))
+            edges.update(
+                zip(edge_preds.tolist(), edge_targets.tolist())
+            )
     else:
         # Per keyword, the Central Graph's contribution is the backward
         # closure from the Central Node over that keyword's hitting DAG.
@@ -193,12 +365,12 @@ def extract_central_graph(
 
     node_array = np.fromiter(nodes, dtype=np.int64, count=len(nodes))
     zero_mask = matrix[node_array] == 0
-    contributions: Dict[int, FrozenSet[int]] = {}
-    for position in np.flatnonzero(zero_mask.any(axis=1)):
-        node = int(node_array[position])
-        contributions[node] = frozenset(
-            int(c) for c in np.flatnonzero(zero_mask[position])
-        )
+    accumulated: Dict[int, List[int]] = {}
+    for position, column in zip(*(index.tolist() for index in np.nonzero(zero_mask))):
+        accumulated.setdefault(int(node_array[position]), []).append(column)
+    contributions: Dict[int, FrozenSet[int]] = {
+        node: frozenset(columns) for node, columns in accumulated.items()
+    }
     return CentralGraph(
         central_node=central_node,
         depth=depth,
@@ -291,6 +463,11 @@ class TopDownConfig:
             instead of multi-path Central Graphs — ablation only.
         n_threads: Central Graphs recovered in parallel when > 1 (the
             paper runs this stage on CPU threads with dynamic scheduling).
+        native: ``False`` pins the NumPy hitting-DAG build and the
+            per-level NumPy extraction walk (the measured legacy
+            baseline); ``None`` uses the compiled DAG/closure kernels
+            whenever they are available. Both tiers produce identical
+            node and edge sets.
     """
 
     k: int = 20
@@ -299,6 +476,7 @@ class TopDownConfig:
     deduplicate: bool = True
     single_path: bool = False
     n_threads: int = 1
+    native: Optional[bool] = None
 
 
 def process_top_down(
@@ -327,7 +505,11 @@ def process_top_down(
             extracted = list(prebuilt)
         else:
             central_nodes = state.central_nodes
-            dag = HittingDAG(graph, state) if central_nodes else None
+            dag = (
+                HittingDAG(graph, state, native=config.native)
+                if central_nodes
+                else None
+            )
             if config.n_threads > 1 and len(central_nodes) > 1:
                 with ThreadPoolExecutor(max_workers=config.n_threads) as pool:
                     extracted = list(

@@ -25,6 +25,12 @@ registration):
   :mod:`repro.parallel._native`, driven by :mod:`repro.analysis.sanitize`.
 * ``REPRO_DATASET_CACHE`` — dataset cache directory override for the
   benchmark harness; owned by :mod:`repro.bench.datasets`.
+* ``REPRO_WHOLE_LEVEL`` — ``0`` pins the classic per-step bottom-up
+  loop instead of the fused whole-level fast path.
+* ``REPRO_POOL_PERSIST`` — ``0`` disables the persistent (warm) process
+  pool; each ``ProcessPoolBackend`` then owns a fresh pool.
+* ``REPRO_POOL_WORKERS`` — worker-count override for the persistent
+  process pool.
 """
 
 from __future__ import annotations
@@ -55,6 +61,23 @@ ENV_SANITIZE = "REPRO_SANITIZE"
 #: the equality).
 ENV_DATASET_CACHE = "REPRO_DATASET_CACHE"
 
+#: Whole-level fast-path switch: ``REPRO_WHOLE_LEVEL=0`` pins the
+#: classic per-step bottom-up loop (enqueue / identify / expand as
+#: separate Python phases) even for backends that implement
+#: ``run_level``. Read by :class:`repro.core.bottom_up.BottomUpSearch`.
+ENV_WHOLE_LEVEL = "REPRO_WHOLE_LEVEL"
+
+#: Persistent worker-pool switch: ``REPRO_POOL_PERSIST=0`` makes
+#: :class:`repro.parallel.processes.ProcessPoolBackend` spawn a fresh
+#: pool per backend instance (the pre-warm-pool behavior) instead of
+#: reusing the process-wide pinned pool across queries.
+ENV_POOL_PERSIST = "REPRO_POOL_PERSIST"
+
+#: Worker-count override for the persistent pool, e.g.
+#: ``REPRO_POOL_WORKERS=8``. Unset/empty defers to the backend's
+#: ``n_workers`` argument.
+ENV_POOL_WORKERS = "REPRO_POOL_WORKERS"
+
 
 def obs_enabled() -> bool:
     """True unless ``REPRO_OBS=0`` vetoes telemetry."""
@@ -79,6 +102,30 @@ def sanitize_value() -> str:
 def dataset_cache_dir() -> Optional[str]:
     """The ``REPRO_DATASET_CACHE`` directory override, or ``None``."""
     return os.environ.get(ENV_DATASET_CACHE) or None
+
+
+def whole_level_enabled() -> bool:
+    """True unless ``REPRO_WHOLE_LEVEL=0`` pins the classic loop."""
+    return os.environ.get(ENV_WHOLE_LEVEL, "1") != "0"
+
+
+def pool_persist_enabled() -> bool:
+    """True unless ``REPRO_POOL_PERSIST=0`` disables pool reuse."""
+    return os.environ.get(ENV_POOL_PERSIST, "1") != "0"
+
+
+def pool_workers_override() -> Optional[int]:
+    """The ``REPRO_POOL_WORKERS`` worker count, or ``None``.
+
+    Unparsable or non-positive values are ignored (``None``) rather
+    than raised — a stray environment variable must not break queries.
+    """
+    raw = os.environ.get(ENV_POOL_WORKERS, "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 @dataclass(frozen=True)

@@ -134,26 +134,135 @@ def _compile(
 
 
 class NativeKernel:
-    """ctypes wrapper around the compiled ``fused_expand`` symbol."""
+    """ctypes wrapper around the compiled kernel symbols.
+
+    Exposes the per-chunk ``fused_expand``, the per-level
+    ``whole_level_step`` (Algorithm 1's enqueue + identify + expansion
+    fused into one call) and the cross-query ``fused_expand_lanes``.
+    Every call releases the GIL, so concurrent chunk expansions
+    (``ThreadPoolBackend``) overlap on real cores.
+    """
 
     def __init__(self, library: ctypes.CDLL) -> None:
-        fn = library.fused_expand
         pointer = np.ctypeslib.ndpointer
+        i64 = pointer(np.int64, flags="C_CONTIGUOUS")
+        i32 = pointer(np.int32, flags="C_CONTIGUOUS")
+        i16 = pointer(np.int16, flags="C_CONTIGUOUS")
+        u64 = pointer(np.uint64, flags="C_CONTIGUOUS")
+        u8 = pointer(np.uint8, flags="C_CONTIGUOUS")
+
+        fn = library.fused_expand
         fn.restype = ctypes.c_int64
         fn.argtypes = [
-            ctypes.c_int64,
-            pointer(np.int64, flags="C_CONTIGUOUS"),
-            pointer(np.uint64, flags="C_CONTIGUOUS"),
-            pointer(np.int64, flags="C_CONTIGUOUS"),
-            pointer(np.int32, flags="C_CONTIGUOUS"),
-            pointer(np.uint8, flags="C_CONTIGUOUS"),
-            ctypes.c_int64,
-            ctypes.c_void_p,
-            pointer(np.uint8, flags="C_CONTIGUOUS"),
-            ctypes.c_uint8,
-            pointer(np.int64, flags="C_CONTIGUOUS"),
+            ctypes.c_int64,  # n_chunk
+            i64,  # chunk
+            u64,  # se_words
+            i64,  # indptr
+            i32,  # indices
+            u8,  # matrix
+            ctypes.c_int64,  # q
+            ctypes.c_void_p,  # blocked (nullable)
+            u8,  # fid
+            ctypes.c_uint8,  # next_level
+            i64,  # out_keys
+            i64,  # n_dups
         ]
         self._fn = fn
+
+        step = library.whole_level_step
+        step.restype = ctypes.c_int64
+        step.argtypes = [
+            ctypes.c_int64,  # n
+            i64,  # indptr
+            i32,  # indices
+            u8,  # matrix
+            ctypes.c_int64,  # q
+            u8,  # fid
+            u8,  # cid
+            u8,  # keyword_node
+            i32,  # activation
+            i16,  # central_level
+            i32,  # finite_count
+            ctypes.c_uint8,  # level
+            ctypes.c_int64,  # central_have
+            ctypes.c_int64,  # k
+            ctypes.c_int64,  # may_expand
+            ctypes.c_int64,  # may_block
+            i64,  # frontier_out
+            i64,  # central_out
+            i64,  # stats_out
+        ]
+        self._step = step
+
+        dag = library.build_hitting_dag
+        dag.restype = None
+        dag.argtypes = [
+            ctypes.c_int64,  # n
+            i64,  # indptr
+            i32,  # indices
+            u8,  # matrix
+            ctypes.c_int64,  # q
+            i32,  # activation
+            u8,  # keyword_node
+            i16,  # central_level
+            i64,  # out_indptr
+            i64,  # out_preds
+            i64,  # out_counts
+        ]
+        self._dag = dag
+
+        closure = library.extract_closure
+        closure.restype = None
+        closure.argtypes = [
+            i64,  # indptr
+            i64,  # preds
+            ctypes.c_int64,  # central
+            u8,  # visited
+            i64,  # stack
+            i64,  # out_nodes
+            i64,  # out_pairs
+            i64,  # n_out
+        ]
+        self._closure = closure
+
+        graph_closure = library.extract_graph
+        graph_closure.restype = None
+        graph_closure.argtypes = [
+            i64,  # indptr_all
+            i64,  # preds_all
+            i64,  # col_offsets
+            u8,  # matrix
+            ctypes.c_int64,  # n
+            ctypes.c_int64,  # q
+            ctypes.c_int64,  # central
+            u8,  # visited
+            u8,  # seen
+            i64,  # stack
+            i64,  # col_nodes
+            i64,  # out_nodes
+            i64,  # out_pairs
+            i64,  # n_out
+        ]
+        self._graph_closure = graph_closure
+
+        lanes = library.fused_expand_lanes
+        lanes.restype = ctypes.c_int64
+        lanes.argtypes = [
+            ctypes.c_int64,  # n_chunk
+            i64,  # chunk
+            u64,  # se_words
+            ctypes.c_int64,  # n_words
+            i64,  # indptr
+            i32,  # indices
+            u8,  # matrix
+            ctypes.c_void_p,  # kw_words (nullable)
+            i32,  # activation
+            u8,  # fid
+            ctypes.c_uint8,  # next_level
+            i64,  # out_keys
+            i64,  # out_counts
+        ]
+        self._lanes = lanes
 
     def expand(
         self,
@@ -167,15 +276,16 @@ class NativeKernel:
         f_identifier: np.ndarray,
         next_level: int,
         out_keys: np.ndarray,
-    ) -> int:
-        """Run one chunk expansion; returns the unique-key count.
+    ) -> "tuple[int, int]":
+        """Run one chunk expansion.
 
-        The GIL is released for the duration of the C call, so
-        concurrent chunk expansions (``ThreadPoolBackend``) overlap on
-        real cores.
+        Returns ``(n_keys, n_duplicates)``: the unique-key count written
+        to ``out_keys`` and the scatter duplicates elided by the live
+        matrix read (the NumPy tier's ``scattered - unique`` count).
         """
         blocked_ptr = blocked.ctypes.data if blocked is not None else None
-        return int(
+        n_dups = np.zeros(1, dtype=np.int64)
+        count = int(
             self._fn(
                 len(chunk),
                 chunk,
@@ -188,6 +298,204 @@ class NativeKernel:
                 f_identifier,
                 next_level,
                 out_keys,
+                n_dups,
+            )
+        )
+        return count, int(n_dups[0])
+
+    def whole_level(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        matrix_flat: np.ndarray,
+        q: int,
+        f_identifier: np.ndarray,
+        c_identifier: np.ndarray,
+        keyword_node_u8: np.ndarray,
+        activation: np.ndarray,
+        central_level: np.ndarray,
+        finite_count: np.ndarray,
+        level: int,
+        central_have: int,
+        k: int,
+        may_expand: bool,
+        may_block: bool,
+        frontier_out: np.ndarray,
+        central_out: np.ndarray,
+        stats_out: np.ndarray,
+    ) -> int:
+        """One complete bottom-up level in C; returns the frontier size.
+
+        ``stats_out`` (int64, length >= 7) receives ``[n_frontier,
+        n_new_central, expanded, edges_gathered, pairs_hit,
+        sources_pruned, duplicates_elided]``.
+        """
+        n = len(f_identifier)
+        return int(
+            self._step(
+                n,
+                indptr,
+                indices,
+                matrix_flat,
+                q,
+                f_identifier,
+                c_identifier,
+                keyword_node_u8,
+                activation,
+                central_level,
+                finite_count,
+                level,
+                central_have,
+                k,
+                1 if may_expand else 0,
+                1 if may_block else 0,
+                frontier_out,
+                central_out,
+                stats_out,
+            )
+        )
+
+    def build_hitting_dag(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        matrix_flat: np.ndarray,
+        q: int,
+        activation: np.ndarray,
+        keyword_node_u8: np.ndarray,
+        central_level: np.ndarray,
+        out_indptr: np.ndarray,
+        out_preds: np.ndarray,
+        out_counts: np.ndarray,
+    ) -> None:
+        """Theorem V.4 qualified predecessors, all columns in one pass.
+
+        ``out_indptr`` is ``q x (n + 1)``, ``out_preds`` is ``q x E``
+        (column ``c``'s predecessors land at row ``c``), ``out_counts``
+        receives the per-column totals.
+        """
+        n = len(indptr) - 1
+        self._dag(
+            n,
+            indptr,
+            indices,
+            matrix_flat,
+            q,
+            activation,
+            keyword_node_u8,
+            central_level,
+            out_indptr,
+            out_preds,
+            out_counts,
+        )
+
+    def extract_closure(
+        self,
+        indptr: np.ndarray,
+        preds: np.ndarray,
+        central: int,
+        visited: np.ndarray,
+        stack: np.ndarray,
+        out_nodes: np.ndarray,
+        out_pairs: np.ndarray,
+        n_out: np.ndarray,
+    ) -> "tuple[int, int]":
+        """Backward closure of one Central Node over one column's DAG.
+
+        Returns ``(n_nodes, n_pairs)``; ``out_nodes`` holds the closure
+        nodes and ``out_pairs`` the interleaved (pred, target) edges.
+        """
+        self._closure(
+            indptr,
+            preds,
+            central,
+            visited,
+            stack,
+            out_nodes,
+            out_pairs,
+            n_out,
+        )
+        return int(n_out[0]), int(n_out[1])
+
+    def extract_graph(
+        self,
+        indptr_all: np.ndarray,
+        preds_all: np.ndarray,
+        col_offsets: np.ndarray,
+        matrix: np.ndarray,
+        n: int,
+        q: int,
+        central: int,
+        visited: np.ndarray,
+        seen: np.ndarray,
+        stack: np.ndarray,
+        col_nodes: np.ndarray,
+        out_nodes: np.ndarray,
+        out_pairs: np.ndarray,
+        n_out: np.ndarray,
+    ) -> "tuple[int, int]":
+        """Whole Central Graph closure in one call (all columns).
+
+        Returns ``(n_nodes, n_pairs)``; ``out_nodes`` holds the
+        deduplicated closure nodes and ``out_pairs`` the interleaved
+        (pred, target) edges (deduplicated per column only — the caller
+        dedups across columns). ``visited``/``seen`` must arrive zeroed
+        and are rezeroed before returning.
+        """
+        self._graph_closure(
+            indptr_all,
+            preds_all,
+            col_offsets,
+            matrix,
+            n,
+            q,
+            central,
+            visited,
+            seen,
+            stack,
+            col_nodes,
+            out_nodes,
+            out_pairs,
+            n_out,
+        )
+        return int(n_out[0]), int(n_out[1])
+
+    def expand_lanes(
+        self,
+        chunk: np.ndarray,
+        se_words: np.ndarray,
+        n_words: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        matrix_flat: np.ndarray,
+        kw_words: Optional[np.ndarray],
+        activation: np.ndarray,
+        f_identifier: np.ndarray,
+        next_level: int,
+        out_keys: np.ndarray,
+        out_counts: np.ndarray,
+    ) -> int:
+        """Cross-query widened expansion; returns the unique-key count.
+
+        ``out_counts`` (int64, length >= 3) receives ``[pairs_hit,
+        duplicates_elided, retries]``.
+        """
+        kw_ptr = kw_words.ctypes.data if kw_words is not None else None
+        return int(
+            self._lanes(
+                len(chunk),
+                chunk,
+                se_words,
+                n_words,
+                indptr,
+                indices,
+                matrix_flat,
+                kw_ptr,
+                activation,
+                f_identifier,
+                next_level,
+                out_keys,
+                out_counts,
             )
         )
 

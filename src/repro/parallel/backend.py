@@ -27,12 +27,44 @@ attached :class:`~repro.core.trace.SearchTrace`.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass, field
 from types import TracebackType
-from typing import Optional, Type
+from typing import List, Optional, Tuple, Type
 
 from ..core.state import SearchState
 from ..graph.csr import KnowledgeGraph
+from ..instrumentation import KernelCounters
 from ..obs.tracing import NULL_TRACER, Tracer
+
+
+@dataclass
+class LevelOutcome:
+    """Result of one whole bottom-up level (``run_level`` backends).
+
+    Backends that implement ``run_level`` execute Algorithm 1's three
+    joined per-level steps — enqueue frontiers, identify Central Nodes,
+    expansion — in one call (natively in one C pass when the compiled
+    tier is available), and report what happened so the bottom-up loop
+    can keep its termination logic, tracing, and per-level profiles
+    bit-identical to the classic step-by-step path.
+
+    Attributes:
+        n_frontier: nodes enqueued into the joint frontier (0 means the
+            search is over — ``TERMINATED_FRONTIER_EMPTY``).
+        new_central: the (node, depth) pairs identified this level, in
+            ascending node order (already appended to
+            ``state.central_nodes``).
+        expanded: whether Algorithm 2 ran (False when the top-k target
+            was met at identification or the level cap was reached).
+        new_hits: unique (node, keyword) cells that became finite.
+        counters: kernel work counters for the expansion, when it ran.
+    """
+
+    n_frontier: int
+    new_central: List[Tuple[int, int]] = field(default_factory=list)
+    expanded: bool = False
+    new_hits: int = 0
+    counters: Optional[KernelCounters] = None
 
 
 class ExpansionBackend(abc.ABC):

@@ -8,13 +8,19 @@ lock-free idempotent-write discipline (Theorem V.2) operates across real
 cores — writes race benignly in actual parallel, exactly like the
 paper's OpenMP threads.
 
+Workers come from the **persistent pinned pool**
+(:mod:`repro.parallel.pool`): forked once per (graph, Tnum) with the CSR
+arrays pinned into their address space, kept warm across queries and
+across backend instances, respawned (and the level retried — idempotent
+writes make the re-run safe) if one crashes. ``REPRO_POOL_PERSIST=0``
+reverts to a private pool per backend.
+
 Mechanics per expansion level:
 
 1. the parent copies M / FIdentifier / CIdentifier / activation /
-   keyword-mask into one shared-memory block (Θ(q·|V|) bytes — ~100 KB
-   at benchmark scale, microseconds to copy);
-2. frontier chunks are dispatched to a persistent fork-based pool whose
-   workers inherited the CSR graph at pool creation;
+   keyword-mask into the pool's shared-memory block (Θ(q·|V|) bytes —
+   ~100 KB at benchmark scale, microseconds to copy);
+2. frontier chunks are dispatched to the warm workers;
 3. workers mutate the shared block in place (idempotent writes only);
 4. the parent copies M / FIdentifier back into the SearchState.
 
@@ -24,33 +30,35 @@ Requires a platform with the ``fork`` start method (Linux/macOS);
 
 from __future__ import annotations
 
-import multiprocessing
-from multiprocessing import shared_memory
-from typing import Dict, Optional, Tuple
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.state import SearchState
 from ..graph.csr import KnowledgeGraph
+from ..obs.config import pool_persist_enabled, pool_workers_override
 from .backend import ExpansionBackend
+from . import pool as pool_module
+from .pool import WorkerPool, get_pool
 
-# Worker-side globals, populated by the pool initializer (fork-inherited
-# data plus lazily attached shared-memory segments).
-_WORKER_INDPTR: Optional[np.ndarray] = None
-_WORKER_INDICES: Optional[np.ndarray] = None
 _WORKER_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
-
-
-def _init_worker(indptr: np.ndarray, indices: np.ndarray) -> None:
-    global _WORKER_INDPTR, _WORKER_INDICES
-    _WORKER_INDPTR = indptr
-    _WORKER_INDICES = indices
 
 
 def _attach(name: str) -> shared_memory.SharedMemory:
     segment = _WORKER_SEGMENTS.get(name)
     if segment is None:
-        segment = shared_memory.SharedMemory(name=name)
+        # The attaching side must NOT register the block with the
+        # resource tracker: the segment is owned by the parent's pool,
+        # and a tracker entry here would unlink it when this worker
+        # exits (e.g. during a crash respawn) — yanking the warm block
+        # out from under the surviving pool (bpo-38119).
+        register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = register
         _WORKER_SEGMENTS[name] = segment
     return segment
 
@@ -90,7 +98,12 @@ def _views(buffer: memoryview, n: int, q: int) -> "Dict[str, np.ndarray]":
 
 
 def _expand_chunk_task(args: Tuple[str, int, int, int, np.ndarray]) -> None:
-    """Algorithm 2 over one frontier chunk, against shared state."""
+    """Algorithm 2 over one frontier chunk, against shared state.
+
+    Every store is idempotent (``level + 1`` into ∞ cells, ``1`` into
+    FIdentifier), so re-running a chunk — or a whole level after a
+    worker crash — writes the same values again (Theorem V.2).
+    """
     shm_name, n, q, level, chunk = args
     segment = _attach(shm_name)
     views = _views(segment.buf, n, q)
@@ -99,8 +112,8 @@ def _expand_chunk_task(args: Tuple[str, int, int, int, np.ndarray]) -> None:
     c_identifier = views["c_identifier"]
     keyword_node = views["keyword"]
     activation = views["activation"]
-    indptr = _WORKER_INDPTR
-    indices = _WORKER_INDICES
+    indptr = pool_module._WORKER_INDPTR
+    indices = pool_module._WORKER_INDICES
     next_level = level + 1
 
     for node in chunk:
@@ -130,9 +143,14 @@ class ProcessPoolBackend(ExpansionBackend):
 
     Args:
         graph: the graph workers will traverse; its CSR arrays are
-            shipped to the pool once at construction.
-        n_processes: worker count (the paper's Tnum, with real cores).
+            pinned into the pool's workers at first fork.
+        n_processes: worker count (the paper's Tnum, with real cores);
+            overridden globally by ``REPRO_POOL_WORKERS`` when set.
         chunks_per_process: dynamic-scheduling granularity.
+        persistent: ``True`` (default, unless ``REPRO_POOL_PERSIST=0``)
+            acquires the process-wide warm pool shared across backend
+            instances; ``False`` owns a private pool torn down by
+            :meth:`close`.
 
     Raises:
         RuntimeError: when the platform lacks the ``fork`` start method.
@@ -143,6 +161,7 @@ class ProcessPoolBackend(ExpansionBackend):
         graph: KnowledgeGraph,
         n_processes: int = 4,
         chunks_per_process: int = 2,
+        persistent: Optional[bool] = None,
     ) -> None:
         if n_processes < 1:
             raise ValueError("n_processes must be positive")
@@ -152,36 +171,46 @@ class ProcessPoolBackend(ExpansionBackend):
             raise RuntimeError(
                 "ProcessPoolBackend requires the 'fork' start method"
             )
+        n_processes = pool_workers_override() or n_processes
+        if persistent is None:
+            persistent = pool_persist_enabled()
         self.n_processes = n_processes
         self.chunks_per_process = chunks_per_process
+        self.persistent = persistent
         self.name = f"processes[{n_processes}]"
         self._graph = graph
-        context = multiprocessing.get_context("fork")
-        self._pool = context.Pool(
-            processes=n_processes,
-            initializer=_init_worker,
-            initargs=(graph.adj.indptr, graph.adj.indices),
-        )
-        self._segment: Optional[shared_memory.SharedMemory] = None
-        self._segment_shape: Optional[Tuple[int, int]] = None
+        if persistent:
+            self._pool: WorkerPool = get_pool(graph, n_processes)
+            self._owns_pool = False
+        else:
+            self._pool = WorkerPool(graph, n_processes)
+            self._owns_pool = True
 
     @staticmethod
     def is_supported() -> bool:
         """True when fork-based pools are available on this platform."""
-        return "fork" in multiprocessing.get_all_start_methods()
+        return pool_module.is_supported()
 
     # ------------------------------------------------------------------
-    def _ensure_segment(self, n: int, q: int) -> shared_memory.SharedMemory:
-        if self._segment is not None and self._segment_shape == (n, q):
-            return self._segment
-        if self._segment is not None:
-            self._segment.close()
-            self._segment.unlink()
-        total = _layout(n, q)["__total__"][1]
-        self._segment = shared_memory.SharedMemory(create=True, size=total)
-        self._segment_shape = (n, q)
-        return self._segment
+    # Pool introspection (lifecycle tests, CI no-respawn smoke)
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> WorkerPool:
+        return self._pool
 
+    def worker_pids(self) -> "List[int]":
+        """PIDs of the live workers (empty before the first dispatch)."""
+        return self._pool.worker_pids()
+
+    @property
+    def respawn_count(self) -> int:
+        return self._pool.respawn_count
+
+    def warm(self) -> "List[int]":
+        """Fork all workers now; returns their PIDs (pre-timing warmup)."""
+        return self._pool.warm()
+
+    # ------------------------------------------------------------------
     def expand(self, graph: KnowledgeGraph, state: SearchState, level: int) -> None:
         if graph is not self._graph:
             raise ValueError(
@@ -192,7 +221,8 @@ class ProcessPoolBackend(ExpansionBackend):
         if len(frontier) == 0:
             return
         n, q = state.n_nodes, state.n_keywords
-        segment = self._ensure_segment(n, q)
+        total = _layout(n, q)["__total__"][1]
+        segment = self._pool.ensure_segment(total)
         views = _views(segment.buf, n, q)
         # Copy the state in (Θ(q·|V|) bytes).
         views["matrix"][:] = state.matrix
@@ -205,7 +235,15 @@ class ProcessPoolBackend(ExpansionBackend):
         if n_chunks <= 1 or self.n_processes == 1:
             chunks = [frontier]
         else:
-            chunks = [c for c in np.array_split(frontier, n_chunks) if len(c)]
+            # Stride rather than slice: the frontier arrives sorted by
+            # node ID and the generators cluster hub nodes (venues,
+            # orgs) in one contiguous ID block, so contiguous slices
+            # hand one worker nearly all the edge work. Interleaving
+            # spreads the hubs across chunks; idempotent writes make
+            # the reordering safe (Theorem V.2).
+            chunks = [
+                frontier[start::n_chunks] for start in range(n_chunks)
+            ]
         tasks = [
             (segment.name, n, q, level, chunk) for chunk in chunks
         ]
@@ -218,9 +256,9 @@ class ProcessPoolBackend(ExpansionBackend):
                 frontier_size=len(frontier),
                 level=level,
             ):
-                self._pool.map(_expand_chunk_task, tasks)
+                self._pool.run_tasks(_expand_chunk_task, tasks)
         else:
-            self._pool.map(_expand_chunk_task, tasks)
+            self._pool.run_tasks(_expand_chunk_task, tasks)
 
         # Copy the mutated state back.
         state.matrix[:] = views["matrix"]
@@ -231,12 +269,12 @@ class ProcessPoolBackend(ExpansionBackend):
         state.refresh_finite_count(np.flatnonzero(state.f_identifier))
 
     def close(self) -> None:
-        self._pool.close()
-        self._pool.join()
-        if self._segment is not None:
-            self._segment.close()
-            try:
-                self._segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - double close
-                pass
-            self._segment = None
+        """Release this backend's pool reference.
+
+        A private pool (``persistent=False``) is joined and its shared
+        segment unlinked. The process-wide warm pool stays up for the
+        next query; :func:`repro.parallel.pool.shutdown_all` (also run
+        ``atexit``) tears it down deterministically.
+        """
+        if self._owns_pool:
+            self._pool.shutdown()

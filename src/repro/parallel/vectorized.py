@@ -54,7 +54,7 @@ from ..core.state import INFINITE_LEVEL, SearchState
 from ..graph.csr import KnowledgeGraph
 from ..instrumentation import KernelCounters, hot_path
 from ..obs.metrics import record_kernel_counters
-from .backend import ExpansionBackend
+from .backend import ExpansionBackend, LevelOutcome
 
 _EMPTY_KEYS = np.empty(0, dtype=np.int64)
 
@@ -167,9 +167,11 @@ def fused_expand_chunk(
     (:mod:`repro.parallel._native`), the lane-word loop runs there
     instead: same algorithm, one C pass over the chunk's CSR segment,
     with the matrix read live so the emitted keys are deduplicated by
-    construction (``duplicates_elided`` stays 0 — duplicates never
-    materialize). The GIL is released during the call, so concurrent
-    chunks overlap on real cores.
+    construction. Cells found already stamped with ``level + 1`` are
+    exactly the scatter duplicates the NumPy tier elides, and the C
+    kernel counts them, so ``duplicates_elided`` agrees across tiers.
+    The GIL is released during the call, so concurrent chunks overlap
+    on real cores.
 
     Args:
         counters: optional accumulator for per-level kernel statistics.
@@ -236,7 +238,7 @@ def fused_expand_chunk(
                     ~state.keyword_node & (activation > next_level)
                 ).view(np.uint8)
             out_keys = np.empty(matrix.size, dtype=np.int64)
-            count = kernel.expand(
+            count, dups = kernel.expand(
                 np.ascontiguousarray(chunk),
                 se_words,
                 adj.indptr,
@@ -250,6 +252,7 @@ def fused_expand_chunk(
             )
             if counters is not None:
                 counters.pairs_hit += count
+                counters.duplicates_elided += dups
             if write_log is not None:
                 hit_keys = out_keys[:count]
                 write_log.record_matrix(hit_keys, next_level, level)
@@ -496,6 +499,9 @@ class VectorizedBackend(ExpansionBackend):
         self.pull_ratio = pull_ratio
         self.native = native
         self.last_counters: Optional[KernelCounters] = None
+        # Reusable whole-level output buffers (frontier, central, stats),
+        # sized to the current graph on first use.
+        self._level_buffers: "Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]" = None
 
     def _should_pull(
         self, graph: KnowledgeGraph, state: SearchState, level: int
@@ -539,3 +545,139 @@ class VectorizedBackend(ExpansionBackend):
         apply_hit_keys(state, keys)
         self.last_counters = counters
         record_kernel_counters(counters, tier=tier)
+
+    # ------------------------------------------------------------------
+    # Whole-level fast path (Algorithm 1's joined steps in one call)
+    # ------------------------------------------------------------------
+    def _whole_level_native(self, state: SearchState) -> "Optional[object]":
+        """The compiled whole-level kernel, when this state can use it.
+
+        The native step reads the matrix as contiguous byte-lane rows and
+        maintains ``finite_count`` in place, so it requires the lane
+        layout (q ≤ 8, little-endian), exact incremental counts, and no
+        attached write log (the checker's NumPy composition logs every
+        scatter instead).
+        """
+        if self.native is False:
+            return None
+        if state.n_keywords > _LANES or not _LANE_SWAR_OK:
+            return None
+        if not state.matrix.flags.c_contiguous:
+            return None
+        if not state.finite_count_usable():
+            return None
+        if state.write_log is not None:
+            return None
+        return _native_kernel()
+
+    def run_level(
+        self,
+        graph: KnowledgeGraph,
+        state: SearchState,
+        level: int,
+        k: int,
+        may_expand: bool,
+    ) -> LevelOutcome:
+        """Execute one complete bottom-up level (enqueue + identify +
+        expansion) and report what happened.
+
+        Semantics are identical to the classic step-by-step loop in
+        :class:`repro.core.bottom_up.BottomUpSearch` — same step order,
+        same termination decisions (expansion is skipped once
+        ``state.n_central_nodes`` reaches ``k`` or when ``may_expand`` is
+        False) — with the per-level Python round trips replaced by a
+        single C call whenever :func:`_native_kernel` provides the
+        ``whole_level_step`` symbol. Otherwise the level is composed
+        from the same :class:`~repro.core.state.SearchState` primitives
+        the classic loop uses, so the fallback is identical by
+        construction.
+        """
+        kernel = self._whole_level_native(state)
+        if kernel is None:
+            return self._run_level_numpy(graph, state, level, k, may_expand)
+
+        n = state.n_nodes
+        if self._level_buffers is None or len(self._level_buffers[0]) != n:
+            self._level_buffers = (
+                np.empty(n, dtype=np.int64),
+                np.empty(n, dtype=np.int64),
+                np.zeros(8, dtype=np.int64),
+            )
+        frontier_out, central_out, stats = self._level_buffers
+        adj = graph.adj
+        may_block = int(state.activation.max()) > level + 1
+        kernel.whole_level(
+            adj.indptr,
+            adj.indices,
+            state.matrix.reshape(-1),
+            state.n_keywords,
+            state.f_identifier,
+            state.c_identifier,
+            state.keyword_node.view(np.uint8),
+            state.activation,
+            state.central_level,
+            state.finite_count,
+            level,
+            state.n_central_nodes,
+            k,
+            may_expand,
+            may_block,
+            frontier_out,
+            central_out,
+            stats,
+        )
+        n_frontier = int(stats[0])
+        state.frontier = frontier_out[:n_frontier].copy()
+        found = [(int(node), level) for node in central_out[: int(stats[1])]]
+        state.central_nodes.extend(found)
+        expanded = bool(stats[2])
+        counters: Optional[KernelCounters] = None
+        if expanded:
+            counters = KernelCounters(
+                edges_gathered=int(stats[3]),
+                pairs_hit=int(stats[4]),
+                duplicates_elided=int(stats[6]),
+                sources_pruned=int(stats[5]),
+            )
+            record_kernel_counters(counters, tier="whole-level")
+        self.last_counters = counters
+        return LevelOutcome(
+            n_frontier=n_frontier,
+            new_central=found,
+            expanded=expanded,
+            new_hits=int(stats[4]),
+            counters=counters,
+        )
+
+    def _run_level_numpy(
+        self,
+        graph: KnowledgeGraph,
+        state: SearchState,
+        level: int,
+        k: int,
+        may_expand: bool,
+    ) -> LevelOutcome:
+        """Whole-level fallback composed from the classic primitives."""
+        n_frontier = state.enqueue_frontiers()
+        if n_frontier == 0:
+            self.last_counters = None
+            return LevelOutcome(n_frontier=0)
+        found = state.identify_central_nodes(level)
+        expanded = may_expand and state.n_central_nodes < k
+        counters: Optional[KernelCounters] = None
+        new_hits = 0
+        if expanded:
+            self.last_counters = None
+            self.expand(graph, state, level)
+            counters = self.last_counters
+            if counters is not None:
+                new_hits = counters.pairs_hit
+        else:
+            self.last_counters = None
+        return LevelOutcome(
+            n_frontier=n_frontier,
+            new_central=found,
+            expanded=expanded,
+            new_hits=new_hits,
+            counters=counters,
+        )

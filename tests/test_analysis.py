@@ -215,6 +215,59 @@ def test_faulty_backend_rejects_unknown_mode():
 
 
 # ---------------------------------------------------------------------------
+# CheckedBackend over the whole-level fast path
+# ---------------------------------------------------------------------------
+def test_checked_backend_verifies_whole_level_path():
+    """Wrapping a run_level backend keeps the fast path *and* the checks."""
+    graph = _kb(1)
+    sets, activation, k = _problem(graph, 38, q=4)
+    checked = CheckedBackend(VectorizedBackend())
+    # The feature probe must see run_level through the wrapper, so the
+    # bottom-up loop stays on the one-call-per-level path while checked.
+    assert getattr(checked, "run_level", None) is not None
+    result = _run(checked, graph, sets, activation, k)
+    assert checked.levels_checked > 0
+    assert not checked.violations
+    reference = _run(SequentialBackend(), graph, sets, activation, k)
+    assert np.array_equal(result.state.matrix, reference.state.matrix)
+
+
+def test_checked_backend_hides_run_level_of_step_backends():
+    """A step-only inner backend must not grow a phantom run_level."""
+    checked = CheckedBackend(ThreadPoolBackend(n_threads=2))
+    assert getattr(checked, "run_level", None) is None
+
+
+class _EvilWholeLevel(VectorizedBackend):
+    """Corrupts one matrix cell from inside the whole-level call."""
+
+    def __init__(self):
+        super().__init__()
+        self.injected = False
+
+    def run_level(self, graph, state, level, k, may_expand):
+        outcome = super().run_level(graph, state, level, k, may_expand)
+        if not self.injected:
+            cells = np.flatnonzero(state.matrix.ravel() == level + 1)
+            if len(cells):
+                # A write of level + 3 violates the level-stamp invariant
+                # (every write at level L stores exactly L + 1).
+                state.matrix.ravel()[cells[0]] = level + 3
+                self.injected = True
+        return outcome
+
+
+def test_checked_backend_detects_corrupted_whole_level():
+    graph = _kb(1)
+    sets, activation, k = _problem(graph, 38, q=4)
+    evil = _EvilWholeLevel()
+    with pytest.raises(InvariantViolationError) as exc_info:
+        _run(CheckedBackend(evil), graph, sets, activation, k)
+    assert evil.injected
+    assert exc_info.value.violations
+
+
+# ---------------------------------------------------------------------------
 # Lint rules
 # ---------------------------------------------------------------------------
 def _rules_of(source):

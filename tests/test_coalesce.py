@@ -1,0 +1,186 @@
+"""Cross-query coalesced expansion: widened lane matrix, exact parity.
+
+The coalesced driver (:mod:`repro.core.coalesce`) packs several queries'
+keyword columns side by side and advances every query with one kernel
+pass per BFS level. The contract is *exact* per-query equivalence: each
+query's matrix, central-node set and identification levels must equal a
+solo :class:`~repro.core.bottom_up.BottomUpSearch` run, lanes frozen at
+solo-final values once the query terminates. These tests fuzz that
+contract for the native ``fused_expand_lanes`` tier and the per-lane
+NumPy driver, and pin the serving surface
+(``BatchSearcher(coalesce=True)``, ``search_coalesced`` lane grouping).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchSearcher
+from repro.core.bottom_up import BottomUpSearch
+from repro.core.coalesce import CoalescedBottomUp
+from repro.core.engine import KeywordSearchEngine
+from repro.graph.generators import WikiKBConfig, wiki_like_kb
+from repro.parallel import VectorizedBackend
+
+from conftest import zero_activation
+
+
+def _fuzz_kb(seed: int):
+    config = WikiKBConfig(
+        name=f"coalesce-{seed}",
+        seed=seed,
+        n_papers=60,
+        n_people=30,
+        n_misc=30,
+        n_venues=8,
+        n_orgs=8,
+    )
+    graph, _ = wiki_like_kb(config)
+    return graph
+
+
+def _fuzz_batch(graph, seed: int, n_queries: int = 3):
+    """Random per-query keyword source sets of varying width."""
+    rng = np.random.default_rng(seed)
+    n = graph.n_nodes
+    batch = []
+    for _ in range(n_queries):
+        q = int(rng.integers(1, 6))
+        batch.append(
+            [
+                np.unique(rng.integers(0, n, size=int(rng.integers(1, 4))))
+                for _ in range(q)
+            ]
+        )
+    if seed % 2:
+        activation = rng.integers(0, 4, size=n).astype(np.int32)
+    else:
+        activation = zero_activation(graph)
+    k = int(rng.integers(1, 8))
+    return batch, activation, k
+
+
+def _solo_signature(result):
+    return (
+        result.state.matrix.tobytes(),
+        result.central_nodes,
+        result.state.central_level.tobytes(),
+        result.terminated,
+    )
+
+
+def _coalesced_signature(outcome):
+    return (
+        outcome.state.matrix.tobytes(),
+        outcome.state.central_nodes,
+        outcome.state.central_level.tobytes(),
+        outcome.terminated,
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("native", [None, False])
+def test_coalesced_matches_solo(seed, native):
+    """Every query's share of the coalesced run equals its solo run."""
+    graph = _fuzz_kb(seed)
+    batch, activation, k = _fuzz_batch(graph, seed * 11 + 2)
+
+    outcomes = CoalescedBottomUp(graph, native=native).run(
+        batch, activation, k
+    )
+    assert len(outcomes) == len(batch)
+    solo = BottomUpSearch(graph, backend=VectorizedBackend())
+    for sets, outcome in zip(batch, outcomes):
+        reference = solo.run(sets, activation, k)
+        assert _coalesced_signature(outcome) == _solo_signature(reference)
+        # finite_count is recomputed from the final matrix; it must agree
+        # with the solo incremental counts.
+        assert np.array_equal(
+            outcome.state.finite_count, reference.state.finite_count
+        )
+
+
+def test_coalesced_native_matches_numpy_driver():
+    """The compiled lane kernel and the per-lane driver agree exactly."""
+    graph = _fuzz_kb(3)
+    batch, activation, k = _fuzz_batch(graph, 91, n_queries=4)
+    native = CoalescedBottomUp(graph).run(batch, activation, k)
+    fallback = CoalescedBottomUp(graph, native=False).run(
+        batch, activation, k
+    )
+    for a, b in zip(native, fallback):
+        assert _coalesced_signature(a) == _coalesced_signature(b)
+
+
+def test_coalesced_validates_inputs():
+    graph = _fuzz_kb(5)
+    activation = zero_activation(graph)
+    driver = CoalescedBottomUp(graph)
+    with pytest.raises(ValueError, match="k must be"):
+        driver.run([[np.array([0])]], activation, 0)
+    with pytest.raises(ValueError, match="no keywords"):
+        driver.run([[]], activation, 1)
+    with pytest.raises(ValueError, match="empty"):
+        driver.run([[np.array([0]), np.array([], dtype=np.int64)]],
+                   activation, 1)
+    with pytest.raises(ValueError, match="one entry per node"):
+        driver.run([[np.array([0])]], activation[:-1], 1)
+    with pytest.raises(ValueError, match="lmax"):
+        CoalescedBottomUp(graph, lmax=0)
+
+
+@pytest.fixture(scope="module")
+def engine(request):
+    graph, _ = request.getfixturevalue("tiny_kb")
+    return KeywordSearchEngine(graph, backend=VectorizedBackend())
+
+
+def _answer_signature(result):
+    return tuple(
+        (answer.graph.central_node, round(answer.score, 9))
+        for answer in result.answers
+    )
+
+
+def test_batch_coalesce_matches_serial(engine):
+    queries = [
+        "machine learning",
+        "knowledge graph",
+        "neural network",
+        "machine learning",  # duplicate: coalesced once, shared result
+    ]
+    serial = BatchSearcher(engine).run(queries, k=5)
+    coalesced = BatchSearcher(engine, coalesce=True).run(queries, k=5)
+    assert coalesced.unique_queries == 3
+    assert len(coalesced.results) == len(queries)
+    for a, b in zip(serial.results, coalesced.results):
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert _answer_signature(a) == _answer_signature(b)
+    assert coalesced.results[0] is coalesced.results[3]
+
+
+def test_batch_coalesce_records_failures(engine):
+    queries = ["machine learning", "zzzzunmatchable"]
+    report = BatchSearcher(engine, coalesce=True).run(queries, k=3)
+    assert report.results[0] is not None
+    assert report.results[1] is None
+    assert "zzzzunmatchable" in report.failures
+
+
+def test_batch_coalesce_rejects_thread_workers(engine):
+    with pytest.raises(ValueError, match="coalesce"):
+        BatchSearcher(engine, n_workers=2, coalesce=True)
+
+
+def test_search_coalesced_small_lane_budget_groups(engine):
+    """A tiny max_lanes forces several groups; answers stay identical."""
+    queries = ["machine learning", "knowledge graph", "neural network"]
+    wide, failures_wide = engine.search_coalesced(queries, k=5)
+    narrow, failures_narrow = engine.search_coalesced(
+        queries, k=5, max_lanes=2
+    )
+    assert failures_wide == failures_narrow == {}
+    for a, b in zip(wide, narrow):
+        assert _answer_signature(a) == _answer_signature(b)
+    with pytest.raises(ValueError, match="max_lanes"):
+        engine.search_coalesced(queries, k=5, max_lanes=0)

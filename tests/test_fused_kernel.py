@@ -130,7 +130,12 @@ def tiny_payload():
 
     dataset = build_dataset(tiny_config())
     return run_kernel_microbench(
-        dataset=dataset, knum=4, n_queries=2, repeats=1, topk=5
+        dataset=dataset,
+        knum=4,
+        n_queries=2,
+        repeats=1,
+        topk=5,
+        pool_tnums=(1, 2),
     )
 
 
@@ -145,6 +150,40 @@ def test_microbench_payload_schema(tiny_payload):
     if tiny_payload["native_kernel"]:
         # The A/B row pinned to the NumPy tier rides along.
         assert tiny_payload["fused_numpy"]["counters"]["pairs_hit"] > 0
+
+
+def test_microbench_whole_level_row(tiny_payload):
+    """The whole-level side must report real work: its counters come
+    from ``run_level`` outcomes, not the step-path ``last_counters``."""
+    whole = tiny_payload["whole_level"]
+    assert whole["counters"]["edges_gathered"] > 0
+    assert whole["counters"]["pairs_hit"] > 0
+    phases = whole["phases"]
+    assert phases["total_ms"] >= phases["expansion_ms"]
+    # Whole-level answers matched the seed baseline (folded into the
+    # payload-level flag) and the batched entry matched whole-level.
+    assert tiny_payload["batched"]["answers_identical"] is True
+    assert tiny_payload["speedup_whole_level"] > 0
+
+
+def test_microbench_warm_pool_entry(tiny_payload):
+    from repro.parallel.processes import ProcessPoolBackend
+
+    if not ProcessPoolBackend.is_supported():
+        assert "warm_pool" not in tiny_payload
+        pytest.skip("fork-based process pools unavailable")
+    warm_pool = tiny_payload["warm_pool"]
+    assert [row["n_workers"] for row in warm_pool["sweep"]] == [1, 2]
+    # Warm workers must never have needed a respawn mid-sweep.
+    assert all(row["respawns"] == 0 for row in warm_pool["sweep"])
+    # Every row pairs warm reuse with the cold-spawn cost it amortizes.
+    assert all(
+        row["total_ms"] > 0 and row["cold_ms"] > 0 and row["warm_speedup"] > 0
+        for row in warm_pool["sweep"]
+    )
+    assert warm_pool["host_cpus"] >= 1
+    assert warm_pool["cold_spawn_ms"] > 0
+    assert warm_pool["warm_ms"] > 0
 
 
 def test_microbench_payload_roundtrip(tiny_payload, tmp_path):
@@ -162,8 +201,12 @@ def test_microbench_payload_roundtrip(tiny_payload, tmp_path):
         ({"knum": 0}, "knum"),
         ({"fused": {}}, "fused"),
         ({"speedup_expansion": -1.0}, "speedup_expansion"),
+        ({"speedup_whole_level": 0}, "speedup_whole_level"),
         ({"answers_identical": "yes"}, "answers_identical"),
         ({"native_kernel": 1}, "native_kernel"),
+        ({"whole_level": {}}, "whole_level"),
+        ({"batched": "fast"}, "batched"),
+        ({"warm_pool": {"sweep": []}}, "warm_pool"),
     ],
 )
 def test_validate_payload_rejects(tiny_payload, corruption, message):

@@ -15,6 +15,15 @@ pytestmark = pytest.mark.skipif(
 )
 
 
+@pytest.fixture(autouse=True)
+def _drain_warm_pools():
+    """Persistent pools outlive backend.close(); keep tests isolated."""
+    from repro.parallel import pool as pool_module
+
+    yield
+    pool_module.shutdown_all()
+
+
 def _sets(*groups):
     return [np.array(g, dtype=np.int64) for g in groups]
 
@@ -62,13 +71,13 @@ def test_matches_sequential_on_random_graphs(seed):
 
 
 def test_segment_reused_across_queries(chain5):
-    backend = ProcessPoolBackend(chain5, n_processes=2)
+    backend = ProcessPoolBackend(chain5, n_processes=2, persistent=False)
     try:
         searcher = BottomUpSearch(chain5, backend)
         searcher.run(_sets([0], [4]), zero_activation(chain5), k=1)
-        first_segment = backend._segment
+        first_segment = backend.pool._segment
         searcher.run(_sets([1], [3]), zero_activation(chain5), k=1)
-        assert backend._segment is first_segment
+        assert backend.pool._segment is first_segment
     finally:
         backend.close()
 
@@ -93,9 +102,10 @@ def test_validates_arguments(chain5):
 
 
 def test_close_releases_resources(chain5):
-    backend = ProcessPoolBackend(chain5, n_processes=1)
+    backend = ProcessPoolBackend(chain5, n_processes=1, persistent=False)
     BottomUpSearch(chain5, backend).run(
         _sets([0], [4]), zero_activation(chain5), k=1
     )
     backend.close()
-    assert backend._segment is None
+    assert backend.pool._segment is None
+    assert not backend.pool.alive

@@ -1,0 +1,157 @@
+"""Whole-level kernel: one call per bottom-up level, three-way parity.
+
+The whole-level fast path (``VectorizedBackend.run_level``) fuses
+frontier compaction, Central-Node identification, expansion and the
+incremental finite-count update into one native call (or an equivalent
+NumPy composition). Algorithm 1's loop semantics must be preserved
+*exactly*: these tests pin the native path, the NumPy fallback and the
+classic step-by-step loop (``REPRO_WHOLE_LEVEL=0``) to bitwise-equal
+states, and pin the native/NumPy work-counter parity (the
+``duplicates_elided`` regression: the native tier must count elided
+duplicate writes exactly like the NumPy tier, not report zero).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bottom_up import BottomUpSearch
+from repro.core.state import TERMINATED_ENOUGH_ANSWERS
+from repro.graph.generators import WikiKBConfig, wiki_like_kb
+from repro.obs.config import ENV_WHOLE_LEVEL
+from repro.parallel import SequentialBackend, VectorizedBackend
+
+from conftest import zero_activation
+
+
+def _fuzz_kb(seed: int):
+    config = WikiKBConfig(
+        name=f"whole-{seed}",
+        seed=seed,
+        n_papers=60,
+        n_people=30,
+        n_misc=30,
+        n_venues=8,
+        n_orgs=8,
+    )
+    graph, _ = wiki_like_kb(config)
+    return graph
+
+
+def _fuzz_problem(graph, seed: int, q: int = 5):
+    rng = np.random.default_rng(seed)
+    n = graph.n_nodes
+    sets = [
+        np.unique(rng.integers(0, n, size=int(rng.integers(1, 5))))
+        for _ in range(q)
+    ]
+    if seed % 2:
+        activation = rng.integers(0, 4, size=n).astype(np.int32)
+    else:
+        activation = zero_activation(graph)
+    k = int(rng.integers(1, 10))
+    return sets, activation, k
+
+
+def _signature(result):
+    return (
+        result.state.matrix.tobytes(),
+        sorted(result.central_nodes),
+        result.state.central_level.tobytes(),
+        result.depth,
+        result.terminated,
+        result.state.finite_count.tolist(),
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_whole_level_three_way_parity(seed, monkeypatch):
+    """Native run_level == NumPy run_level == classic step loop."""
+    graph = _fuzz_kb(seed)
+    sets, activation, k = _fuzz_problem(graph, seed * 13 + 1)
+
+    native = BottomUpSearch(graph, backend=VectorizedBackend()).run(
+        sets, activation, k
+    )
+    fallback = BottomUpSearch(
+        graph, backend=VectorizedBackend(native=False)
+    ).run(sets, activation, k)
+    monkeypatch.setenv(ENV_WHOLE_LEVEL, "0")
+    stepped = BottomUpSearch(graph, backend=VectorizedBackend()).run(
+        sets, activation, k
+    )
+    monkeypatch.delenv(ENV_WHOLE_LEVEL)
+    reference = BottomUpSearch(graph, backend=SequentialBackend()).run(
+        sets, activation, k
+    )
+
+    assert _signature(native) == _signature(reference)
+    assert _signature(fallback) == _signature(reference)
+    assert _signature(stepped) == _signature(reference)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_duplicates_elided_native_numpy_parity(seed):
+    """Regression: the native whole-level tier must report the same
+    duplicate-write count as the NumPy tier (it once reported 0).
+
+    Both sides are pinned to the push discipline (``pull_ratio=0``):
+    a pull level legitimately gathers different edges and elides no
+    scatter duplicates by construction, and it announces itself via the
+    ``pull_levels`` counter — work counters describe work actually done,
+    so parity is only defined direction-for-direction.
+    """
+    from repro.bench.kernel_microbench import _CountingVectorizedBackend
+    from repro.parallel.vectorized import _native_kernel
+
+    if _native_kernel() is None:  # pragma: no cover
+        pytest.skip("native kernel unavailable")
+    graph = _fuzz_kb(seed + 50)
+    sets, activation, k = _fuzz_problem(graph, seed * 7 + 3)
+
+    def total_counters(backend):
+        backend.pull_ratio = 0
+        BottomUpSearch(graph, backend=backend).run(sets, activation, k)
+        assert backend.totals.pull_levels == 0
+        return {
+            "edges_gathered": backend.totals.edges_gathered,
+            "pairs_hit": backend.totals.pairs_hit,
+            "duplicates_elided": backend.totals.duplicates_elided,
+        }
+
+    native = total_counters(_CountingVectorizedBackend())
+    fallback = total_counters(_CountingVectorizedBackend(native=False))
+    assert native == fallback
+    assert native["edges_gathered"] > 0
+    assert native["duplicates_elided"] > 0
+
+
+def test_run_level_respects_k_and_termination():
+    """run_level must stop expanding once k Central Nodes exist, and the
+    loop must report the same termination reason as the classic path."""
+    graph = _fuzz_kb(77)
+    sets, activation, k = _fuzz_problem(graph, 42, q=3)
+    result = BottomUpSearch(graph, backend=VectorizedBackend()).run(
+        sets, activation, 1
+    )
+    if result.terminated == TERMINATED_ENOUGH_ANSWERS:
+        assert len(result.central_nodes) >= 1
+    reference = BottomUpSearch(graph, backend=SequentialBackend()).run(
+        sets, activation, 1
+    )
+    assert result.terminated == reference.terminated
+    assert sorted(result.central_nodes) == sorted(reference.central_nodes)
+
+
+def test_whole_level_env_toggle_registered():
+    """RPR004: the switch must be a registered, documented env var."""
+    import inspect
+
+    from repro.analysis.lint import registered_env_vars
+    from repro.obs import config
+    from repro.obs.config import whole_level_enabled
+
+    registered = registered_env_vars(inspect.getsource(config))
+    assert ENV_WHOLE_LEVEL in registered
+    assert config.ENV_POOL_PERSIST in registered
+    assert config.ENV_POOL_WORKERS in registered
+    assert isinstance(whole_level_enabled(), bool)
