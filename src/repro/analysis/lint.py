@@ -31,6 +31,13 @@ RPR007    No mutable default arguments.
 RPR008    No direct ``time.time()`` in figure-producing paths (core,
           parallel, bench, eval, instrumentation): phase timings must
           come from the monotonic ``time.perf_counter()``.
+RPR009    No copying calls (``np.asarray`` / ``np.ascontiguousarray`` /
+          ``np.copy`` / ``np.array`` / ``.copy()``) on CSR base arrays
+          (``indptr`` / ``indices`` / ``indices64`` / ``labels`` /
+          ``degree_array``) inside ``@hot_path`` code. The mmap store
+          tier shares one physical CSR copy across every worker; a
+          per-call copy silently re-materializes the graph into private
+          heap and breaks the zero-copy contract.
 ========  ==============================================================
 
 Suppression: append ``# noqa: RPR00x`` (with a justification comment)
@@ -57,6 +64,7 @@ RULES = {
     "RPR006": "bare except:",
     "RPR007": "mutable default argument",
     "RPR008": "wall-clock time.time() in a figure-producing path",
+    "RPR009": "copy of a CSR base array inside @hot_path kernel code",
 }
 
 _ENV_LITERAL = re.compile(r"REPRO_[A-Z][A-Z0-9_]*\Z")
@@ -82,6 +90,14 @@ _NARROW_INDEX_DTYPES = {"int8", "int16", "int32", "uint16", "uint32"}
 #: Path prefixes (relative to the package root) whose timings feed the
 #: paper figures; wall-clock reads are banned there.
 _FIGURE_SCOPES = ("core", "parallel", "bench", "eval", "instrumentation.py")
+
+#: Attribute names of the CSR arrays shared zero-copy with pool workers
+#: (and mapped read-only from the store file); copying one of these in a
+#: kernel re-materializes the graph into private heap.
+_CSR_BASE_ATTRS = {"indptr", "indices", "indices64", "labels", "degree_array"}
+
+#: Call names that produce (or may produce) an array copy.
+_COPYING_CALLS = {"asarray", "ascontiguousarray", "copy", "array"}
 
 
 @dataclass(frozen=True)
@@ -289,6 +305,18 @@ class _FileLinter(ast.NodeVisitor):
                             "@hot_path kernel code; fancy-index operands "
                             "carry the int64 contract",
                         )
+            if name in _COPYING_CALLS:
+                csr_attr = self._csr_base_operand(node, name)
+                if csr_attr is not None:
+                    self._emit(
+                        node,
+                        "RPR009",
+                        f"'{name}' copies CSR base array "
+                        f"'.{csr_attr}' inside @hot_path kernel code; "
+                        "the store tier shares one physical CSR copy "
+                        "across workers — use the array (or its cached "
+                        "read-only views) directly",
+                    )
         if (
             self.in_parallel
             and self._in_nested_function
@@ -317,6 +345,29 @@ class _FileLinter(ast.NodeVisitor):
                 "must use the monotonic time.perf_counter()",
             )
         self.generic_visit(node)
+
+    @staticmethod
+    def _csr_base_operand(node: ast.Call, name: str) -> Optional[str]:
+        """The CSR base attribute a copying call touches, if any.
+
+        Checks every argument expression — and, for a ``.copy()`` method
+        call, the receiver — for an attribute access named like a CSR
+        base array (``graph.adj.indices``, ``self._indptr`` does not
+        match; the attribute name itself must be one of the bases).
+        """
+        operands: List[ast.expr] = list(node.args) + [
+            keyword.value for keyword in node.keywords
+        ]
+        if isinstance(node.func, ast.Attribute) and name == "copy":
+            operands.append(node.func.value)
+        for operand in operands:
+            for sub in ast.walk(operand):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and sub.attr in _CSR_BASE_ATTRS
+                ):
+                    return sub.attr
+        return None
 
     # ------------------------------------------------------------------
     def visit_Constant(self, node: ast.Constant) -> None:

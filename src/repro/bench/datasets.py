@@ -85,6 +85,47 @@ def build_dataset(
     )
 
 
+def dataset_from_graph(
+    graph: KnowledgeGraph,
+    name: str,
+    index: Optional[InvertedIndex] = None,
+    average_distance: Optional[float] = None,
+    distance_pairs: int = 2000,
+    seed: int = 0,
+) -> BenchDataset:
+    """Wrap an already-loaded graph (e.g. an opened CSR store) as a dataset.
+
+    The out-of-core benchmarks open multi-million-node stores where BFS
+    distance sampling is the slowest step by far; passing a fixed
+    ``average_distance`` skips it (the engine only uses A as the Eq. 1
+    depth bound). The metadata block is empty — store-opened graphs carry
+    no generator ground truth.
+    """
+    if index is None:
+        index = InvertedIndex.from_graph(graph)
+    if average_distance is not None:
+        distance = DistanceEstimate(
+            average=average_distance, deviation=0.0,
+            n_sampled=0, n_requested=0,
+        )
+    else:
+        distance = estimate_average_distance(
+            graph, n_pairs=distance_pairs, seed=seed
+        )
+    metadata = KBMetadata(
+        name=name, seed=seed, roles=np.zeros(0, dtype=np.int8),
+        topic_nodes={}, class_nodes={}, gold_papers={}, decoy_papers=[],
+    )
+    return BenchDataset(
+        name=name,
+        graph=graph,
+        metadata=metadata,
+        index=index,
+        weights=node_weights(graph),
+        distance=distance,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Disk persistence (opt-in via REPRO_DATASET_CACHE)
 # ---------------------------------------------------------------------------

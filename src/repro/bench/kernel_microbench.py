@@ -51,7 +51,7 @@ from ..parallel.backend import ExpansionBackend
 from ..parallel.vectorized import VectorizedBackend
 from .datasets import BenchDataset, build_dataset
 
-SCHEMA_VERSION = "repro.bench_kernel/v2"
+SCHEMA_VERSION = "repro.bench_kernel/v3"
 
 #: Size knobs for the pytest smoke test — a few hundred nodes, so the
 #: full microbenchmark path runs in well under a second.
@@ -382,7 +382,15 @@ def _batched_entry(
     repeats: int,
     solo_signatures: list,
 ) -> Dict[str, object]:
-    """Cross-query coalesced batch vs. one-query-at-a-time wall clock."""
+    """Cross-query coalesced batch vs. one-query-at-a-time wall clock.
+
+    Besides wall clock, both sides report their expansion and scoring
+    phase sums: coalescing shares *expansion* work across queries but
+    still scores every query separately, so when ``speedup`` dips below
+    1 the phase columns show whether scoring overhead ate the shared
+    expansion win (the ROADMAP 3c diagnosis) or expansion itself
+    regressed.
+    """
     engine = KeywordSearchEngine(
         dataset.graph,
         backend=VectorizedBackend(),
@@ -391,14 +399,25 @@ def _batched_entry(
         average_distance=dataset.distance.average,
         config=EngineConfig(topk=topk),
     )
+
+    def phase_sums(timers) -> "tuple[float, float]":
+        expansion = sum(t.get(PHASE_EXPANSION) for t in timers) * 1e3
+        scoring = sum(t.get(PHASE_TOP_DOWN) for t in timers) * 1e3
+        return expansion, scoring
+
     solo_best = float("inf")
-    for _ in range(repeats):
+    solo_expansion_ms = solo_scoring_ms = 0.0
+    for repeat in range(repeats):
         start = time.perf_counter()
-        for query in queries:
-            engine.search(query, k=topk)
+        results = [engine.search(query, k=topk) for query in queries]
         solo_best = min(solo_best, time.perf_counter() - start)
+        if repeat == 0:
+            solo_expansion_ms, solo_scoring_ms = phase_sums(
+                [result.timer for result in results]
+            )
 
     coalesced_best = float("inf")
+    coalesced_expansion_ms = coalesced_scoring_ms = 0.0
     batch_signatures: list = []
     for repeat in range(repeats):
         start = time.perf_counter()
@@ -409,12 +428,19 @@ def _batched_entry(
                 _answer_signature(result) if result is not None else None
                 for result in results
             ]
+            coalesced_expansion_ms, coalesced_scoring_ms = phase_sums(
+                [result.timer for result in results if result is not None]
+            )
     solo_ms = solo_best * 1e3
     coalesced_ms = coalesced_best * 1e3
     return {
         "n_queries": len(queries),
         "solo_ms": solo_ms,
         "coalesced_ms": coalesced_ms,
+        "expansion_ms": coalesced_expansion_ms,
+        "scoring_ms": coalesced_scoring_ms,
+        "solo_expansion_ms": solo_expansion_ms,
+        "solo_scoring_ms": solo_scoring_ms,
         "speedup": solo_ms / coalesced_ms if coalesced_ms > 0 else float("inf"),
         "answers_identical": batch_signatures == solo_signatures,
     }
@@ -677,12 +703,45 @@ def validate_payload(payload: Dict[str, object]) -> None:
     batched = payload.get("batched")
     if not isinstance(batched, dict):
         raise ValueError("batched must be a dict")
-    for key in ("solo_ms", "coalesced_ms"):
+    for key in (
+        "solo_ms",
+        "coalesced_ms",
+        "expansion_ms",
+        "scoring_ms",
+        "solo_expansion_ms",
+        "solo_scoring_ms",
+    ):
         value = batched.get(key)
         if not isinstance(value, (int, float)) or value < 0:
             raise ValueError(f"batched.{key} must be non-negative")
     if not isinstance(batched.get("answers_identical"), bool):
         raise ValueError("batched.answers_identical must be a bool")
+    if "mmap_store" in payload:
+        mmap_store = payload["mmap_store"]
+        if not isinstance(mmap_store, dict):
+            raise ValueError("mmap_store must be a dict")
+        if not isinstance(mmap_store.get("scale"), str) or not mmap_store["scale"]:
+            raise ValueError("mmap_store.scale must be a non-empty string")
+        for key in ("n_nodes", "n_edges", "store_bytes", "array_bytes",
+                    "build_peak_rss_bytes"):
+            value = mmap_store.get(key)
+            if not isinstance(value, int) or value <= 0:
+                raise ValueError(f"mmap_store.{key} must be a positive int")
+        for key in ("build_ms", "build_rss_ratio", "cold_open_ms",
+                    "warm_open_ms", "first_query_ms", "attach_ms"):
+            value = mmap_store.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(f"mmap_store.{key} must be non-negative")
+        resident = mmap_store.get("resident_bytes_after_query")
+        if resident is not None and (
+            not isinstance(resident, int) or resident < 0
+        ):
+            raise ValueError(
+                "mmap_store.resident_bytes_after_query must be a "
+                "non-negative int or null"
+            )
+        if not isinstance(mmap_store.get("answers_identical"), bool):
+            raise ValueError("mmap_store.answers_identical must be a bool")
     if "warm_pool" in payload:
         warm_pool = payload["warm_pool"]
         if not isinstance(warm_pool, dict):
@@ -771,4 +830,42 @@ def format_report(payload: Dict[str, object]) -> str:
         f"{batched['solo_ms']:.1f}ms ({batched['speedup']:.2f}x), "  # type: ignore[index]
         f"answers identical: {batched['answers_identical']}"  # type: ignore[index]
     )
+    speedup = batched.get("speedup")  # type: ignore[union-attr]
+    if isinstance(speedup, (int, float)) and speedup < 1:
+        expansion = batched.get("expansion_ms", 0.0)  # type: ignore[union-attr]
+        scoring = batched.get("scoring_ms", 0.0)  # type: ignore[union-attr]
+        solo_scoring = batched.get("solo_scoring_ms", 0.0)  # type: ignore[union-attr]
+        culprit = (
+            "scoring overhead"
+            if scoring - solo_scoring >= expansion
+            else "expansion"
+        )
+        lines.append(
+            f"  WARN: coalesced batching is a regression here "
+            f"({speedup:.2f}x < 1): {culprit} dominates "
+            f"(coalesced expansion {expansion:.1f}ms, scoring "
+            f"{scoring:.1f}ms vs solo scoring {solo_scoring:.1f}ms) "
+            f"— see ROADMAP 3c"
+        )
+    mmap_store = payload.get("mmap_store")
+    if isinstance(mmap_store, dict):
+        resident = mmap_store.get("resident_bytes_after_query")
+        resident_text = (
+            f"{resident / 1e6:.1f} MB resident after query"
+            if isinstance(resident, int)
+            else "residency unavailable"
+        )
+        lines.append(
+            f"  mmap store [{mmap_store['scale']}]: "
+            f"{mmap_store['n_nodes']} nodes, "
+            f"{mmap_store['store_bytes'] / 1e6:.1f} MB on disk; build "
+            f"{mmap_store['build_ms'] / 1000.0:.1f}s at peak RSS "
+            f"{mmap_store['build_peak_rss_bytes'] / 1e6:.1f} MB "
+            f"({mmap_store['build_rss_ratio']:.2f}x CSR bytes); open "
+            f"cold {mmap_store['cold_open_ms']:.1f}ms / warm "
+            f"{mmap_store['warm_open_ms']:.1f}ms, pool attach "
+            f"{mmap_store['attach_ms']:.1f}ms, first query "
+            f"{mmap_store['first_query_ms']:.1f}ms, {resident_text}, "
+            f"answers identical to RAM: {mmap_store['answers_identical']}"
+        )
     return "\n".join(lines)

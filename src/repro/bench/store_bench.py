@@ -1,0 +1,212 @@
+"""Out-of-core store benchmark: RSS-vs-graph-size and mmap open timings.
+
+The ``mmap_store`` entry of ``BENCH_kernel.json`` (schema v3) records the
+out-of-core tier's acceptance quantities at one scale:
+
+* **streaming build** — the store is built by ``python -m repro
+  build-graph --json`` in a *subprocess*, so its ``ru_maxrss`` is the
+  builder's own peak and not polluted by this process's datasets. The
+  headline ratio is ``peak RSS / CSR array bytes`` (< 0.25 at
+  ``wiki2018-xl`` acceptance).
+* **open + query** — cold open (first ``open_store`` after the build),
+  warm reopen, and the first end-to-end query on the memory-mapped
+  graph.
+* **zero-copy attach** — a warm worker pool is bound to the store file,
+  the graph object is dropped and reopened, and the reattach is timed:
+  the pool is keyed by store path, so the reload finds the same live
+  workers (no fork, no CSR copy — ROADMAP 3a).
+* **parity** — the same queries run against the store materialized into
+  RAM (``mmap=False``); answer signatures must match bitwise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from time import perf_counter
+from typing import Dict, List, Optional
+
+#: Depth bound used instead of BFS distance sampling: multi-million-node
+#: stores make sampling the dominant cost, and the generator family's
+#: sampled A sits near 4 at every scale (see ``repro stats``).
+DEFAULT_AVERAGE_DISTANCE = 4.0
+
+
+def _repro_root() -> str:
+    """Directory to put on PYTHONPATH so a subprocess can import repro."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def build_store_subprocess(
+    scale: str, out: str, seed: Optional[int] = None
+) -> Dict[str, object]:
+    """Run ``repro build-graph --json`` in a child process; return its stats.
+
+    The child's ``ru_maxrss`` is exactly the streaming builder's peak
+    resident set — the number the out-of-core acceptance compares against
+    the final CSR size.
+    """
+    command = [
+        sys.executable, "-m", "repro", "build-graph",
+        "--scale", scale, "--out", out, "--json",
+    ]
+    if seed is not None:
+        command += ["--seed", str(seed)]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _repro_root() + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        command, env=env, capture_output=True, text=True
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"build-graph failed ({completed.returncode}):\n"
+            f"{completed.stdout}\n{completed.stderr}"
+        )
+    last_line = completed.stdout.strip().splitlines()[-1]
+    return json.loads(last_line)
+
+
+def _signatures(engine, queries: List[str], topk: int) -> list:
+    from .kernel_microbench import _answer_signature
+
+    return [_answer_signature(engine.search(q, k=topk)) for q in queries]
+
+
+def mmap_store_entry(
+    scale: str,
+    workdir: Optional[str] = None,
+    knum: int = 8,
+    seed: int = 13,
+    n_queries: int = 2,
+    topk: int = 10,
+    n_workers: int = 2,
+    average_distance: float = DEFAULT_AVERAGE_DISTANCE,
+) -> Dict[str, object]:
+    """Build + measure one store scale; returns the ``mmap_store`` entry.
+
+    Args:
+        scale: a ``build-graph`` scale (``wiki-ooc-smoke`` /
+            ``wiki2018-xl``).
+        workdir: where to put the store file; ``None`` uses a temporary
+            directory removed afterwards, a path keeps the store around
+            for inspection.
+        knum / seed / n_queries / topk: workload shape (kept small — the
+            interesting numbers are open/attach/RSS, not throughput).
+        n_workers: pool width for the zero-copy attach measurement.
+        average_distance: fixed Eq. 1 depth bound (skips BFS sampling).
+    """
+    from ..core.engine import EngineConfig, KeywordSearchEngine
+    from ..eval.queries import KeywordWorkload
+    from ..graph.store import open_store
+    from ..parallel import pool as pool_module
+    from ..parallel.vectorized import VectorizedBackend
+    from .datasets import dataset_from_graph
+
+    own_tmpdir = workdir is None
+    if own_tmpdir:
+        workdir = tempfile.mkdtemp(prefix="repro-storebench-")
+    else:
+        os.makedirs(workdir, exist_ok=True)
+    store_path = os.path.join(workdir, f"{scale}.csrstore")
+    try:
+        build = build_store_subprocess(scale, store_path)
+
+        start = perf_counter()
+        graph = open_store(store_path)
+        cold_open_ms = (perf_counter() - start) * 1e3
+
+        dataset = dataset_from_graph(
+            graph, name=scale, average_distance=average_distance, seed=seed
+        )
+        engine = KeywordSearchEngine(
+            dataset.graph,
+            backend=VectorizedBackend(),
+            index=dataset.index,
+            weights=dataset.weights,
+            average_distance=dataset.distance.average,
+            config=EngineConfig(topk=topk),
+        )
+        workload = KeywordWorkload(dataset.index, seed=seed)
+        queries = workload.sample_queries(knum, n_queries)
+
+        start = perf_counter()
+        engine.search(queries[0], k=topk)
+        first_query_ms = (perf_counter() - start) * 1e3
+        mmap_signatures = _signatures(engine, queries, topk)
+        resident = graph.memory_report().get("resident_nbytes")
+
+        # Zero-copy attach: pin a warm pool to the store, drop + reopen
+        # the graph, and time how long the reloaded graph takes to find
+        # its (already forked, already mapped) workers again.
+        attach_ms = float("nan")
+        try:
+            first_pool = pool_module.get_pool(graph, n_workers)
+            first_pool.warm()
+            pids_before = first_pool.worker_pids()
+            del graph, dataset, engine
+            start = perf_counter()
+            graph = open_store(store_path)
+            reattached = pool_module.get_pool(graph, n_workers)
+            reattached.warm()
+            attach_ms = (perf_counter() - start) * 1e3
+            if reattached is not first_pool or (
+                reattached.worker_pids() != pids_before
+            ):
+                raise RuntimeError(
+                    "warm pool did not survive the store reload "
+                    "(expected path-keyed reuse, got a respawn)"
+                )
+        finally:
+            pool_module.shutdown_all()
+
+        start = perf_counter()
+        graph = open_store(store_path)
+        warm_open_ms = (perf_counter() - start) * 1e3
+
+        # RAM parity side: same store materialized into heap arrays.
+        ram_graph = open_store(store_path, mmap=False)
+        ram_dataset = dataset_from_graph(
+            ram_graph, name=scale, average_distance=average_distance,
+            seed=seed,
+        )
+        ram_engine = KeywordSearchEngine(
+            ram_dataset.graph,
+            backend=VectorizedBackend(),
+            index=ram_dataset.index,
+            weights=ram_dataset.weights,
+            average_distance=ram_dataset.distance.average,
+            config=EngineConfig(topk=topk),
+        )
+        ram_signatures = _signatures(ram_engine, queries, topk)
+
+        array_bytes = int(build["array_bytes"])
+        peak_rss = int(build["peak_rss_bytes"])
+        return {
+            "scale": scale,
+            "n_nodes": int(build["n_nodes"]),
+            "n_edges": int(build["n_edges"]),
+            "store_bytes": int(build["store_bytes"]),
+            "array_bytes": array_bytes,
+            "build_ms": float(build["build_ms"]),
+            "build_peak_rss_bytes": peak_rss,
+            "build_rss_ratio": peak_rss / max(array_bytes, 1),
+            "cold_open_ms": cold_open_ms,
+            "warm_open_ms": warm_open_ms,
+            "first_query_ms": first_query_ms,
+            "attach_ms": attach_ms,
+            "n_workers": n_workers,
+            "resident_bytes_after_query": (
+                int(resident) if resident is not None else None
+            ),
+            "answers_identical": mmap_signatures == ram_signatures,
+        }
+    finally:
+        if own_tmpdir:
+            import shutil
+
+            shutil.rmtree(workdir, ignore_errors=True)

@@ -4,6 +4,9 @@ Commands:
 
 * ``generate`` — build a Wikidata-style synthetic KB and save it (graph
   NPZ + inverted index) for later sessions;
+* ``build-graph`` — stream-build an on-disk ``.csrstore`` (bounded-memory
+  external sort; the out-of-core path for ``wiki2018-xl`` scale) that
+  every ``--graph`` option then opens memory-mapped;
 * ``stats``    — dataset statistics (the Table II row) for a saved or
   freshly generated graph;
 * ``search``   — run a keyword query and print ranked Central Graphs,
@@ -36,7 +39,13 @@ from typing import List, Optional
 
 from .core.engine import EmptyQueryError, EngineConfig, KeywordSearchEngine
 from .graph.csr import KnowledgeGraph
-from .graph.generators import wiki2017_config, wiki2018_config, wiki_like_kb
+from .graph.generators import (
+    ooc_smoke_config,
+    wiki2017_config,
+    wiki2018_config,
+    wiki2018_xl_config,
+    wiki_like_kb,
+)
 from .graph.io import load_graph, save_graph
 from .graph.sampling import estimate_average_distance
 from .parallel import SequentialBackend, ThreadPoolBackend, VectorizedBackend
@@ -45,6 +54,15 @@ from .text.inverted_index import InvertedIndex
 from .viz import central_graph_to_dot, explain_answer
 
 _SCALES = {"wiki2017": wiki2017_config, "wiki2018": wiki2018_config}
+#: Scales the streaming ``build-graph`` command can target. The XL scale
+#: only exists here: it is too large to materialize through the in-RAM
+#: ``generate`` path.
+_STORE_SCALES = {
+    "wiki2017": wiki2017_config,
+    "wiki2018": wiki2018_config,
+    "wiki2018-xl": wiki2018_xl_config,
+    "wiki-ooc-smoke": ooc_smoke_config,
+}
 _BACKENDS = {
     "sequential": SequentialBackend,
     "threads": ThreadPoolBackend,
@@ -73,6 +91,46 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument(
         "--max-entities", type=int, default=None,
         help="with --from-wikidata: sample only the first N entities",
+    )
+
+    build_graph = commands.add_parser(
+        "build-graph",
+        help="stream-build an on-disk CSR store (.csrstore) in bounded "
+             "memory — the out-of-core path for XL scales",
+    )
+    build_graph.add_argument(
+        "--out", required=True,
+        help="store file path (conventionally <name>.csrstore)",
+    )
+    build_graph.add_argument(
+        "--scale", choices=sorted(_STORE_SCALES), default="wiki2018",
+    )
+    build_graph.add_argument("--seed", type=int, default=None)
+    build_graph.add_argument(
+        "--from-wikidata", metavar="DUMP",
+        help="stream-import a Wikidata JSON dump instead of generating",
+    )
+    build_graph.add_argument(
+        "--max-entities", type=int, default=None,
+        help="with --from-wikidata: sample only the first N entities",
+    )
+    build_graph.add_argument(
+        "--spill-dir", default=None,
+        help="directory for external-sort spill runs (default: a "
+             "temporary directory next to the system tmp)",
+    )
+    build_graph.add_argument(
+        "--chunk-edges", type=int, default=None,
+        help="edges buffered in RAM between spills (lower = less memory)",
+    )
+    build_graph.add_argument(
+        "--window-rows", type=int, default=None,
+        help="merge-window row budget for the finalize passes",
+    )
+    build_graph.add_argument(
+        "--json", action="store_true",
+        help="print a single machine-readable JSON stats line "
+             "(n_nodes, n_edges, store_bytes, build_ms, peak_rss_bytes)",
     )
 
     stats = commands.add_parser("stats", help="print dataset statistics")
@@ -117,6 +175,18 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_kernel.add_argument(
         "--out", default="BENCH_kernel.json",
         help="result JSON path ('' skips writing)",
+    )
+    bench_kernel.add_argument(
+        "--mmap-scale", choices=("none", "wiki-ooc-smoke", "wiki2018-xl"),
+        default="none",
+        help="also build an on-disk CSR store at this scale and record "
+             "RSS-vs-store-size plus cold/warm open and pool-attach "
+             "timings (the out-of-core tier entry)",
+    )
+    bench_kernel.add_argument(
+        "--mmap-workdir", default=None,
+        help="directory for the mmap benchmark's store file "
+             "(default: a temporary directory, deleted afterwards)",
     )
 
     profile = commands.add_parser(
@@ -220,6 +290,71 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     print(f"{source}: {graph.n_nodes} nodes, "
           f"{graph.n_edges} edges, {index.n_terms} terms "
           f"({elapsed:.1f}s) -> {args.out}.npz")
+    return 0
+
+
+def _cmd_build_graph(args: argparse.Namespace) -> int:
+    import json
+    import resource
+
+    start = time.perf_counter()
+    builder_kwargs = {}
+    if args.chunk_edges is not None:
+        builder_kwargs["chunk_edges"] = args.chunk_edges
+    if args.window_rows is not None:
+        builder_kwargs["window_rows"] = args.window_rows
+    if args.from_wikidata:
+        from .graph.wikidata import (
+            COMMON_PROPERTY_LABELS,
+            load_wikidata_dump_streaming,
+        )
+
+        info, stats = load_wikidata_dump_streaming(
+            args.from_wikidata,
+            args.out,
+            property_labels=COMMON_PROPERTY_LABELS,
+            max_entities=args.max_entities,
+            spill_dir=args.spill_dir,
+            **builder_kwargs,
+        )
+        source = (
+            f"imported {stats.entities_kept}/{stats.entities_seen} entities "
+            f"({stats.edges_added} edges) from {args.from_wikidata}"
+        )
+    else:
+        from .graph.generators import build_wiki_kb_store
+
+        config_factory = _STORE_SCALES[args.scale]
+        config = (
+            config_factory()
+            if args.seed is None
+            else config_factory(args.seed)
+        )
+        info, _ = build_wiki_kb_store(
+            args.out, config, spill_dir=args.spill_dir, **builder_kwargs
+        )
+        source = f"built {config.name}"
+    build_ms = (time.perf_counter() - start) * 1000.0
+    # ru_maxrss is KiB on Linux; includes every resident page the builder
+    # ever touched, which is exactly the out-of-core acceptance metric.
+    peak_rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    if args.json:
+        print(json.dumps({
+            "n_nodes": info.n_nodes,
+            "n_edges": info.n_edges,
+            "store_bytes": info.store_bytes,
+            "array_bytes": info.array_bytes,
+            "build_ms": build_ms,
+            "peak_rss_bytes": peak_rss,
+            "path": str(info.path),
+        }))
+    else:
+        ratio = peak_rss / max(info.array_bytes, 1)
+        print(f"{source}: {info.n_nodes} nodes, {info.n_edges} edges, "
+              f"{info.store_bytes / 1e6:.1f} MB store "
+              f"({build_ms / 1000.0:.1f}s, peak RSS "
+              f"{peak_rss / 1e6:.1f} MB = {ratio:.2f}x CSR bytes) "
+              f"-> {info.path}")
     return 0
 
 
@@ -361,6 +496,15 @@ def _cmd_bench_kernel(args: argparse.Namespace) -> int:
         topk=args.topk,
         seed=args.seed,
     )
+    if args.mmap_scale != "none":
+        from .bench.store_bench import mmap_store_entry
+
+        payload["mmap_store"] = mmap_store_entry(
+            scale=args.mmap_scale,
+            workdir=args.mmap_workdir,
+            knum=args.knum,
+            seed=args.seed,
+        )
     print(format_report(payload))
     if args.out:
         write_payload(payload, args.out)
@@ -427,6 +571,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "generate": _cmd_generate,
+        "build-graph": _cmd_build_graph,
         "stats": _cmd_stats,
         "search": _cmd_search,
         "bench": _cmd_bench,

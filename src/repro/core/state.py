@@ -263,14 +263,25 @@ class SearchState:
         Everything allocated per query counts: M, both identifier arrays,
         the keyword mask, the central-level array, the per-query activation
         mapping, the incremental finite-cell counts and the frontier.
+
+        Arrays that turn out to be views over a memory-mapped store file
+        (possible when a caller wires store-backed inputs straight into
+        the state) are charged at their *resident* page estimate, not
+        their on-disk size — mmap-backed bytes are page cache, not
+        per-query heap (see :func:`repro.graph.store.allocated_nbytes`).
         """
-        return int(
-            self.matrix.nbytes
-            + self.f_identifier.nbytes
-            + self.c_identifier.nbytes
-            + self.keyword_node.nbytes
-            + self.central_level.nbytes
-            + self.activation.nbytes
-            + self.finite_count.nbytes
-            + self.frontier.nbytes
-        )
+        from ..graph.store import allocated_nbytes
+
+        return int(sum(
+            allocated_nbytes(array)
+            for array in (
+                self.matrix,
+                self.f_identifier,
+                self.c_identifier,
+                self.keyword_node,
+                self.central_level,
+                self.activation,
+                self.finite_count,
+                self.frontier,
+            )
+        ))

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -180,8 +180,16 @@ class KnowledgeGraph:
         self.out = out
         self.inc = inc
         self.adj = adj
-        self.node_text: List[str] = list(node_text)
+        # Lists are defensively copied; lazy sequences (e.g. the mmap-backed
+        # TextBlob of an on-disk store) are kept as-is so opening a
+        # multi-million-node store does not materialize every label string.
+        self.node_text: Sequence[str] = (
+            list(node_text) if isinstance(node_text, list) else node_text
+        )
         self.predicates = predicates
+        # Set by repro.graph.store.open_store when this graph is backed by an
+        # on-disk CSRStore (a StoreHandle); None for in-RAM graphs.
+        self.store: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Basic shape
@@ -254,6 +262,42 @@ class KnowledgeGraph:
         content information ... which can be stored in external memory".
         """
         return self.adj.nbytes
+
+    def memory_report(self) -> "dict[str, object]":
+        """Memory accounting that understands the mmap tier.
+
+        For in-RAM graphs ``resident_nbytes`` equals ``csr_nbytes`` (the
+        arrays really are heap). For store-backed graphs the resident figure
+        is a ``mincore``-based page-cache estimate — the on-disk size is
+        *not* process heap and must not be reported as such.
+        """
+        from .store import StoreHandle, memmap_base, resident_nbytes
+
+        arrays = []
+        for adjacency in (self.out, self.inc, self.adj):
+            arrays.extend([adjacency.indptr, adjacency.indices, adjacency.labels])
+        arrays.extend([self.adj.degree_array, self.adj.indices64])
+        logical = sum(int(a.nbytes) for a in arrays)
+        resident = 0
+        mmap_backed = False
+        for array in arrays:
+            if memmap_base(array) is None:
+                resident += int(array.nbytes)
+                continue
+            mmap_backed = True
+            estimate = resident_nbytes(array)
+            resident += int(array.nbytes) if estimate is None else estimate
+        report: "dict[str, object]" = {
+            "mmap": mmap_backed,
+            "csr_nbytes": logical,
+            "resident_nbytes": resident,
+            "store_path": None,
+            "store_bytes": None,
+        }
+        if isinstance(self.store, StoreHandle):
+            report["store_path"] = str(self.store.path)
+            report["store_bytes"] = self.store.info.store_bytes
+        return report
 
     # ------------------------------------------------------------------
     # Derived graphs

@@ -26,13 +26,16 @@ worked example.
 
 from __future__ import annotations
 
+import os
+from array import array
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .builder import GraphBuilder
+from .builder import GraphBuilder, StreamingGraphBuilder
 from .csr import KnowledgeGraph
+from .store import StoreInfo
 
 # ---------------------------------------------------------------------------
 # Node roles (recorded in metadata; used by tests and the relevance judge)
@@ -171,6 +174,46 @@ def wiki2018_config(seed: int = 2018) -> WikiKBConfig:
     )
 
 
+def wiki2018_xl_config(seed: int = 2018) -> WikiKBConfig:
+    """Out-of-core bench scale: ≥2M nodes, built only via the streaming tier.
+
+    At this size the CSR arrays alone are several hundred MB, so the graph
+    is generated straight to a :mod:`repro.graph.store` file with
+    :func:`build_wiki_kb_store` — ``wiki_like_kb`` (which materializes
+    Python edge lists) would need multiple GB of RAM.
+    """
+    return WikiKBConfig(
+        name="wiki2018-xl",
+        seed=seed,
+        n_papers=1_200_000,
+        n_people=480_000,
+        n_misc=400_000,
+        n_venues=2_000,
+        n_orgs=1_200,
+        citations_per_paper=0.6,
+    )
+
+
+def ooc_smoke_config(seed: int = 2018) -> WikiKBConfig:
+    """~100k-node but edge-dense scale for the CI out-of-core smoke job.
+
+    Sized so the CSR array bytes comfortably exceed a small RSS cap while
+    the build itself stays under a minute on a CI runner.
+    """
+    return WikiKBConfig(
+        name="wiki-ooc-smoke",
+        seed=seed,
+        n_papers=100_000,
+        n_people=40_000,
+        n_misc=20_000,
+        n_venues=400,
+        n_orgs=240,
+        topics_per_paper=6.0,
+        authors_per_paper=4.0,
+        citations_per_paper=2.0,
+    )
+
+
 def pool_sweep_config(seed: int = 2018) -> WikiKBConfig:
     """Preset for the multi-process core-scaling sweep (Fig. 9-10).
 
@@ -233,6 +276,50 @@ def wiki_like_kb(
     """
     if config is None:
         config = wiki2017_config()
+    builder = GraphBuilder()
+    metadata = _populate_wiki_kb(builder, config, canned_phrase_queries)
+    return builder.build(), metadata
+
+
+def build_wiki_kb_store(
+    path: Union[str, os.PathLike],
+    config: Optional[WikiKBConfig] = None,
+    canned_phrase_queries: Optional[Dict[str, Sequence[str]]] = None,
+    spill_dir: Optional[str] = None,
+    chunk_edges: int = StreamingGraphBuilder.DEFAULT_CHUNK_EDGES,
+    window_rows: int = StreamingGraphBuilder.DEFAULT_WINDOW_ROWS,
+) -> Tuple[StoreInfo, KBMetadata]:
+    """Generate the same wiki-like KB straight to an on-disk CSR store.
+
+    The exact same population code drives a
+    :class:`~repro.graph.builder.StreamingGraphBuilder`, so for any config
+    the resulting store opens to a graph bitwise identical to
+    ``wiki_like_kb(config)`` — but intermediates spill to disk, which is what
+    makes the multi-million-node scales (:func:`wiki2018_xl_config`)
+    buildable in bounded RAM.
+    """
+    if config is None:
+        config = wiki2017_config()
+    builder = StreamingGraphBuilder(
+        spill_dir=spill_dir, chunk_edges=chunk_edges, window_rows=window_rows
+    )
+    metadata = _populate_wiki_kb(builder, config, canned_phrase_queries)
+    info = builder.finalize(path, name=config.name, seed=config.seed)
+    return info, metadata
+
+
+def _populate_wiki_kb(
+    builder: Union[GraphBuilder, StreamingGraphBuilder],
+    config: WikiKBConfig,
+    canned_phrase_queries: Optional[Dict[str, Sequence[str]]] = None,
+) -> KBMetadata:
+    """Drive ``builder`` through the full wiki-like population sequence.
+
+    Shared by the in-RAM and streaming build paths; every container here is
+    compact (``array`` typecodes, not Python int lists) so the generation
+    loop itself stays within the streaming tier's memory budget at
+    multi-million-node scale.
+    """
     if canned_phrase_queries is None:
         # Imported lazily to avoid a package cycle at import time.
         from ..eval.queries import canned_query_phrases
@@ -240,8 +327,7 @@ def wiki_like_kb(
         canned_phrase_queries = canned_query_phrases()
 
     rng = np.random.default_rng(config.seed)
-    builder = GraphBuilder()
-    roles: List[int] = []
+    roles = array("b")
 
     def new_node(text: str, role: int) -> int:
         node = builder.add_node(text)
@@ -292,7 +378,7 @@ def wiki_like_kb(
         venue_nodes.append(node)
 
     # -- People -----------------------------------------------------------
-    person_nodes = []
+    person_nodes = array("q")
     for idx in range(config.n_people):
         first = _FIRST_NAMES[int(rng.integers(len(_FIRST_NAMES)))]
         last = _LAST_NAMES[int(rng.integers(len(_LAST_NAMES)))]
@@ -343,7 +429,7 @@ def wiki_like_kb(
         fillers = rng.choice(_TITLE_FILLERS, size=2, replace=False)
         return f"{fillers[0]} {' '.join(parts)} {fillers[1]}"
 
-    paper_nodes: List[int] = []
+    paper_nodes = array("q")
     phrase_list = list(TOPIC_PHRASES)
     for _ in range(config.n_papers):
         k = min(len(phrase_list), _draw_count(rng, config.topics_per_paper, 1))
@@ -420,17 +506,15 @@ def wiki_like_kb(
         target_topic = int(topic_ids[int(rng.integers(len(topic_ids)))])
         builder.add_edge(node, target_topic, "main subject")
 
-    graph = builder.build()
-    metadata = KBMetadata(
+    return KBMetadata(
         name=config.name,
         seed=config.seed,
-        roles=np.asarray(roles, dtype=np.int8),
+        roles=np.frombuffer(roles, dtype=np.int8) if len(roles) else np.zeros(0, np.int8),
         topic_nodes=topic_nodes,
         class_nodes=class_nodes,
         gold_papers=gold_papers,
         decoy_papers=decoy_papers,
     )
-    return graph, metadata
 
 
 # ---------------------------------------------------------------------------

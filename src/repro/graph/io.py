@@ -8,6 +8,11 @@ Two on-disk representations are supported:
 * a line-oriented TSV triple format (``subject<TAB>predicate<TAB>object``)
   covering the "knowledge graphs can all be represented in an RDF graph"
   loading path of the paper.
+
+:func:`load_graph` additionally recognizes the memory-mapped
+:mod:`repro.graph.store` format (``.csrstore``) by magic bytes and opens it
+read-only via ``np.memmap`` — every CLI path that takes ``--graph``
+therefore accepts either representation transparently.
 """
 
 from __future__ import annotations
@@ -45,21 +50,44 @@ def save_graph(graph: KnowledgeGraph, path: str) -> None:
     )
     meta = {
         "version": _FORMAT_VERSION,
-        "node_text": graph.node_text,
+        "node_text": list(graph.node_text),
         "predicates": graph.predicates.to_list(),
     }
     with open(_meta_path(path), "w", encoding="utf-8") as handle:
         json.dump(meta, handle)
 
 
-def load_graph(path: str) -> KnowledgeGraph:
-    """Load a graph previously written by :func:`save_graph`.
+def _is_store_file(path: str) -> bool:
+    """True when ``path`` exists and starts with the CSRStore magic."""
+    from .store import MAGIC
+
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def load_graph(path: str, mmap: bool = True) -> KnowledgeGraph:
+    """Load a graph previously written by :func:`save_graph` or
+    :func:`repro.graph.store.save_store`.
+
+    Store files (detected by magic bytes, or by ``path + '.csrstore'``
+    existing) open memory-mapped by default; pass ``mmap=False`` to
+    materialize them into RAM. NPZ bundles always load into RAM.
 
     Raises:
         FileNotFoundError: if either the NPZ or the JSON sidecar is missing.
-        ValueError: if the sidecar format version is unsupported.
+        ValueError: if the sidecar format version is unsupported (or, via
+            :class:`~repro.graph.store.CSRStoreError`, the store is corrupt).
     """
+    from .store import STORE_SUFFIX, open_store
+
+    if _is_store_file(path):
+        return open_store(path, mmap=mmap)
     npz_path = path if path.endswith(".npz") else path + ".npz"
+    if not os.path.exists(npz_path) and _is_store_file(path + STORE_SUFFIX):
+        return open_store(path + STORE_SUFFIX, mmap=mmap)
     with np.load(npz_path) as data:
         out = CSRAdjacency(
             indptr=data["out_indptr"],

@@ -56,16 +56,33 @@ __all__ = [
     "shutdown_all",
 ]
 
-# Worker-side CSR views, populated once by the pool initializer from
-# fork-inherited (copy-on-write) pages.
+# Worker-side CSR views, populated once by the pool initializer — either
+# fork-inherited (copy-on-write) pages for in-RAM graphs, or read-only
+# memmaps of the store file for mmap-backed graphs.
 _WORKER_INDPTR: Optional[np.ndarray] = None
 _WORKER_INDICES: Optional[np.ndarray] = None
+_WORKER_STORE_PATH: Optional[str] = None
 
 
 def _init_worker(indptr: np.ndarray, indices: np.ndarray) -> None:
     global _WORKER_INDPTR, _WORKER_INDICES
     _WORKER_INDPTR = indptr
     _WORKER_INDICES = indices
+
+
+def _init_worker_store(path: str) -> None:
+    """Attach a worker to an on-disk CSR store by path.
+
+    This is the zero-copy tier: the worker maps the store's ``adj`` arrays
+    read-only, so all workers (and the parent) share one physical copy in
+    the page cache. Attach cost is O(1) in graph size — two ``mmap`` calls,
+    no array pickling, no SharedMemory copy of the CSR.
+    """
+    global _WORKER_INDPTR, _WORKER_INDICES, _WORKER_STORE_PATH
+    from ..graph.store import open_worker_arrays
+
+    _WORKER_INDPTR, _WORKER_INDICES = open_worker_arrays(path)
+    _WORKER_STORE_PATH = path
 
 
 def _worker_pid(_: object = None) -> int:
@@ -106,6 +123,10 @@ class WorkerPool:
         self._graph_ref = weakref.ref(graph)
         self._indptr = graph.adj.indptr
         self._indices = graph.adj.indices
+        # Store-backed graphs pin workers to the file, not to this process's
+        # pages: workers re-map the store themselves, which survives the
+        # parent dropping (and even reloading) its KnowledgeGraph object.
+        self.store_path = _store_path_of(graph)
         self._executor: Optional[ProcessPoolExecutor] = None
         self._segment: Optional[shared_memory.SharedMemory] = None
         self._segment_size = 0
@@ -115,11 +136,17 @@ class WorkerPool:
     # Lifecycle
     # ------------------------------------------------------------------
     def _spawn(self) -> None:
+        if self.store_path is not None:
+            initializer: Callable = _init_worker_store
+            initargs: tuple = (self.store_path,)
+        else:
+            initializer = _init_worker
+            initargs = (self._indptr, self._indices)
         self._executor = ProcessPoolExecutor(
             max_workers=self.n_workers,
             mp_context=multiprocessing.get_context("fork"),
-            initializer=_init_worker,
-            initargs=(self._indptr, self._indices),
+            initializer=initializer,
+            initargs=initargs,
         )
 
     def warm(self) -> "List[int]":
@@ -226,22 +253,36 @@ class WorkerPool:
 # ----------------------------------------------------------------------
 # Process-wide registry
 # ----------------------------------------------------------------------
-_POOLS: "Dict[Tuple[int, int], WorkerPool]" = {}
+_POOLS: "Dict[Tuple[object, int], WorkerPool]" = {}
+
+
+def _store_path_of(graph: KnowledgeGraph) -> Optional[str]:
+    """The mmap store path backing ``graph``, or None for in-RAM graphs."""
+    store = getattr(graph, "store", None)
+    if store is not None and getattr(store, "mmap", False):
+        return str(store.path)
+    return None
 
 
 def get_pool(graph: KnowledgeGraph, n_workers: int) -> WorkerPool:
     """The process-wide warm pool for ``(graph, n_workers)``.
 
     Created on first use and reused by every later request for the same
-    graph object and worker count — consecutive queries (and consecutive
-    backend instances) hit the same already-forked workers. The registry
-    holds the graph only weakly; a stale entry (graph collected, or a
-    recycled ``id``) is replaced.
+    graph and worker count — consecutive queries (and consecutive backend
+    instances) hit the same already-forked workers.
+
+    In-RAM graphs key the registry by object identity (held weakly; a stale
+    entry is replaced). Store-backed mmap graphs key by the *store path*:
+    workers attach to the file, not to the parent's arrays, so a warm pool
+    survives the graph object being dropped and reopened (ROADMAP 3a) — the
+    reloaded graph maps the same page-cache copy the workers already share.
     """
-    key = (id(graph), n_workers)
+    store_path = _store_path_of(graph)
+    key: "Tuple[object, int]" = (store_path or id(graph), n_workers)
     pool = _POOLS.get(key)
-    if pool is not None and pool.alive and pool._graph_ref() is graph:
-        return pool
+    if pool is not None and pool.alive:
+        if store_path is not None or pool._graph_ref() is graph:
+            return pool
     if pool is not None:
         pool.shutdown()
     pool = WorkerPool(graph, n_workers)

@@ -13,7 +13,12 @@ Workers come from the **persistent pinned pool**
 arrays pinned into their address space, kept warm across queries and
 across backend instances, respawned (and the level retried — idempotent
 writes make the re-run safe) if one crashes. ``REPRO_POOL_PERSIST=0``
-reverts to a private pool per backend.
+reverts to a private pool per backend. For graphs opened from an on-disk
+:mod:`repro.graph.store` file, workers attach by re-mapping the store's
+``adj`` arrays read-only instead of inheriting parent pages — one
+physical copy in the page cache regardless of Tnum, O(1) attach cost,
+and warm pools keyed by store path that survive graph reloads. Only the
+small per-query search state ever goes through shared memory.
 
 Mechanics per expansion level:
 

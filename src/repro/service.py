@@ -282,6 +282,10 @@ class SearchService:
             return 200, "application/json", json.dumps(
                 {
                     "service": self.stats.as_dict(),
+                    # Graph storage accounting: mmap-backed stores report
+                    # their resident page estimate alongside the full CSR
+                    # size, so an operator can tell page cache from heap.
+                    "storage": self.graph.memory_report(),
                     "metrics": self.registry.snapshot(),
                 }
             )

@@ -397,6 +397,39 @@ def test_rpr008_wall_clock_time():
     )
 
 
+def test_rpr009_csr_copy_in_hot_path():
+    flagged = _rules_of(
+        """
+        import numpy as np
+
+        @hot_path
+        def kernel(graph):
+            a = np.asarray(graph.adj.indices)
+            b = graph.adj.indptr.copy()
+            c = np.ascontiguousarray(graph.out.labels)
+            return a, b, c
+        """
+    )
+    assert "RPR009" in flagged
+
+
+def test_rpr009_allows_non_csr_copies_and_cold_code():
+    clean = _rules_of(
+        """
+        import numpy as np
+
+        @hot_path
+        def kernel(graph, chunk):
+            chunk = np.ascontiguousarray(chunk)
+            return graph.adj.indices64
+
+        def cold_path(graph):
+            return np.asarray(graph.adj.indices)
+        """
+    )
+    assert "RPR009" not in clean
+
+
 def test_noqa_suppresses_specific_rule():
     source = "import time\n\ndef f():\n    return time.time()  # noqa: RPR008\n"
     violations, suppressed = lint_source(source)

@@ -1,0 +1,387 @@
+"""Out-of-core CSR store: round-trips, streaming build, zero-copy workers.
+
+The mmap tier's contract is *behavioral identity*: a graph opened from a
+``.csrstore`` file (memory-mapped or materialized) must be bitwise
+indistinguishable from the in-RAM build it was saved from — same arrays,
+same answers from every backend, same validation. These tests pin that,
+plus the failure modes (corrupt / truncated / wrong-version files), the
+streaming builder's parity with :class:`GraphBuilder`, the path-keyed
+warm-pool attach that survives graph reloads, and the mmap-aware memory
+accounting surfaced through ``/statz``.
+"""
+
+import json
+import os
+import shutil
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.state import SearchState
+from repro.graph.builder import GraphBuilder, StreamingGraphBuilder
+from repro.graph.generators import (
+    WikiKBConfig,
+    build_wiki_kb_store,
+    wiki_like_kb,
+)
+from repro.graph.io import load_graph, save_graph
+from repro.graph.store import (
+    CSRStoreError,
+    MAGIC,
+    STORE_SUFFIX,
+    TextBlob,
+    allocated_nbytes,
+    memmap_base,
+    open_store,
+    open_worker_arrays,
+    read_info,
+    resident_nbytes,
+    save_store,
+)
+from repro.parallel import (
+    ProcessPoolBackend,
+    SequentialBackend,
+    ThreadPoolBackend,
+    VectorizedBackend,
+)
+from repro.parallel import pool as pool_module
+
+from test_fused_kernel import _fuzz_kb, _fuzz_problem, _run_backend
+
+
+@pytest.fixture(autouse=True)
+def _drain_warm_pools():
+    yield
+    pool_module.shutdown_all()
+
+
+@pytest.fixture(scope="module")
+def kb_graph():
+    return _fuzz_kb(3)
+
+
+@pytest.fixture(scope="module")
+def store_path(kb_graph, tmp_path_factory):
+    path = tmp_path_factory.mktemp("store") / ("kb" + STORE_SUFFIX)
+    save_store(kb_graph, path, name="fuzz-3", seed=3)
+    return str(path)
+
+
+def _assert_graphs_bitwise_equal(actual, expected):
+    for name in ("out", "inc", "adj"):
+        left, right = getattr(actual, name), getattr(expected, name)
+        for attr in ("indptr", "indices", "labels"):
+            assert np.array_equal(
+                getattr(left, attr), getattr(right, attr)
+            ), f"{name}.{attr} diverged"
+        assert getattr(left, attr).dtype == getattr(right, attr).dtype
+    assert np.array_equal(
+        actual.adj.degree_array, expected.adj.degree_array
+    )
+    assert np.array_equal(actual.adj.indices64, expected.adj.indices64)
+    assert list(actual.node_text) == list(expected.node_text)
+    assert actual.predicates.to_list() == expected.predicates.to_list()
+
+
+# ---------------------------------------------------------------------------
+# Round-trips
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("mmap", [True, False])
+def test_round_trip_bitwise_identical(kb_graph, store_path, mmap):
+    reopened = open_store(store_path, mmap=mmap)
+    _assert_graphs_bitwise_equal(reopened, kb_graph)
+    reopened.validate()
+    assert reopened.store is not None
+    assert reopened.store.mmap is mmap
+    if mmap:
+        assert memmap_base(reopened.adj.indices) is not None
+    else:
+        assert memmap_base(reopened.adj.indices) is None
+    # The frozen-array contract holds for both open modes.
+    with pytest.raises(ValueError):
+        reopened.adj.indices[0] = 1
+
+
+def test_load_graph_dispatches_on_magic_and_suffix(kb_graph, store_path, tmp_path):
+    by_magic = load_graph(store_path)
+    assert by_magic.store is not None and by_magic.store.mmap
+    # Prefix form: <prefix>.csrstore is found when no NPZ exists.
+    prefix = store_path[: -len(STORE_SUFFIX)]
+    by_suffix = load_graph(prefix)
+    assert by_suffix.store is not None
+    # NPZ keeps precedence when both exist at the same prefix.
+    both = tmp_path / "both"
+    save_graph(kb_graph, str(both))
+    save_store(kb_graph, str(both) + STORE_SUFFIX)
+    npz_loaded = load_graph(str(both))
+    assert npz_loaded.store is None
+    _assert_graphs_bitwise_equal(npz_loaded, kb_graph)
+
+
+def test_read_info_reports_sections(store_path, kb_graph):
+    info = read_info(store_path)
+    assert info.n_nodes == kb_graph.n_nodes
+    assert info.n_edges == kb_graph.n_edges
+    assert info.store_bytes == os.path.getsize(store_path)
+    assert 0 < info.array_bytes <= info.store_bytes
+    assert "adj_indices" in info.sections
+
+
+# ---------------------------------------------------------------------------
+# Error paths
+# ---------------------------------------------------------------------------
+def test_truncated_store_is_rejected(store_path, tmp_path):
+    clone = tmp_path / "trunc.csrstore"
+    shutil.copyfile(store_path, clone)
+    size = os.path.getsize(clone)
+    with open(clone, "r+b") as handle:
+        handle.truncate(size // 2)
+    with pytest.raises(CSRStoreError, match="truncated"):
+        open_store(clone)
+
+
+def test_bad_magic_is_rejected(store_path, tmp_path):
+    clone = tmp_path / "magic.csrstore"
+    shutil.copyfile(store_path, clone)
+    with open(clone, "r+b") as handle:
+        handle.write(b"NOTSTORE")
+    with pytest.raises(CSRStoreError, match="magic"):
+        read_info(clone)
+
+
+def test_version_mismatch_is_rejected(store_path, tmp_path):
+    clone = tmp_path / "version.csrstore"
+    shutil.copyfile(store_path, clone)
+    with open(clone, "r+b") as handle:
+        handle.seek(len(MAGIC))
+        handle.write(struct.pack("<I", 99))
+    with pytest.raises(CSRStoreError, match="version"):
+        open_store(clone)
+
+
+def test_corrupt_header_is_rejected(store_path, tmp_path):
+    clone = tmp_path / "header.csrstore"
+    shutil.copyfile(store_path, clone)
+    with open(clone, "r+b") as handle:
+        handle.seek(len(MAGIC) + 8)
+        handle.write(b"\xff\xff\xff\xff")
+    with pytest.raises(CSRStoreError):
+        read_info(clone)
+
+
+# ---------------------------------------------------------------------------
+# Streaming builder parity
+# ---------------------------------------------------------------------------
+def test_streaming_generator_matches_in_ram_build(tmp_path):
+    config = WikiKBConfig(
+        name="stream-parity", seed=11,
+        n_papers=70, n_people=30, n_misc=25, n_venues=6, n_orgs=6,
+    )
+    expected, _ = wiki_like_kb(config)
+    # Tiny chunk/window sizes force many spill runs and merge windows.
+    info, _ = build_wiki_kb_store(
+        tmp_path / "p.csrstore", config, chunk_edges=97, window_rows=64,
+    )
+    assert info.n_nodes == expected.n_nodes
+    assert info.n_edges == expected.n_edges
+    streamed = open_store(tmp_path / "p.csrstore")
+    _assert_graphs_bitwise_equal(streamed, expected)
+    streamed.validate()
+
+
+def test_streaming_builder_dedups_like_graphbuilder(tmp_path):
+    in_ram = GraphBuilder()
+    streaming = StreamingGraphBuilder(chunk_edges=3, window_rows=2)
+    for builder in (in_ram, streaming):
+        nodes = [builder.add_node(f"node {i}") for i in range(5)]
+        for _ in range(3):  # duplicate triples collapse to one edge
+            builder.add_edge(nodes[0], nodes[1], "dup")
+        builder.add_edge(nodes[1], nodes[0], "dup")  # reverse is distinct
+        builder.add_edge(nodes[2], nodes[3], "other")
+        builder.add_edge(nodes[3], nodes[2], "dup")
+    expected = in_ram.build()
+    info = streaming.finalize(tmp_path / "d.csrstore")
+    assert info.n_edges == expected.n_edges == 4
+    _assert_graphs_bitwise_equal(open_store(tmp_path / "d.csrstore"), expected)
+
+
+def test_streaming_builder_validation_errors(tmp_path):
+    builder = StreamingGraphBuilder()
+    try:
+        a, b = builder.add_node("a"), builder.add_node("b")
+        with pytest.raises(ValueError, match="self-loop"):
+            builder.add_edge(a, a, "p")
+        with pytest.raises(ValueError, match="out of range"):
+            builder.add_edge(a, 99, "p")
+        with pytest.raises(ValueError, match="unknown predicate"):
+            builder.add_edge(a, b, 7)
+        assert builder.add_node("b-again", key="k") == builder.add_node(
+            "ignored", key="k"
+        )
+        builder.finalize(tmp_path / "v.csrstore")
+        with pytest.raises(RuntimeError, match="finalized"):
+            builder.add_edge(a, b, "p")
+        with pytest.raises(RuntimeError, match="once"):
+            builder.finalize(tmp_path / "v2.csrstore")
+    finally:
+        builder.close()
+
+
+# ---------------------------------------------------------------------------
+# Backend parity on mmap-opened graphs
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [1, 4, 9])
+def test_all_backends_bitwise_identical_on_mmap_store(tmp_path, seed):
+    graph = _fuzz_kb(seed)
+    path = tmp_path / ("g" + STORE_SUFFIX)
+    save_store(graph, path)
+    mapped = open_store(path)
+    q = 2 + seed % 7
+    sets, activation, k = _fuzz_problem(graph, seed * 17 + 5, q)
+    reference = _run_backend(SequentialBackend(), graph, sets, activation, k)
+    contenders = {
+        "sequential": SequentialBackend(),
+        "threads": ThreadPoolBackend(n_threads=2),
+        "vectorized": VectorizedBackend(),
+        "vectorized-numpy": VectorizedBackend(native=False),
+    }
+    for name, backend in contenders.items():
+        result = _run_backend(backend, mapped, sets, activation, k)
+        assert np.array_equal(
+            result.state.matrix, reference.state.matrix
+        ), f"{name}: M diverged on mmap store (seed {seed})"
+        assert sorted(result.central_nodes) == sorted(reference.central_nodes)
+        assert result.depth == reference.depth
+
+
+@pytest.mark.skipif(
+    not ProcessPoolBackend.is_supported(),
+    reason="requires the fork start method",
+)
+def test_process_pool_attaches_by_store_path_and_survives_reload(tmp_path):
+    graph = _fuzz_kb(6)
+    path = tmp_path / ("g" + STORE_SUFFIX)
+    save_store(graph, path)
+    mapped = open_store(path)
+    sets, activation, k = _fuzz_problem(graph, 61, q=3)
+    reference = _run_backend(SequentialBackend(), graph, sets, activation, k)
+
+    backend = ProcessPoolBackend(mapped, n_processes=1, persistent=True)
+    assert backend.pool.store_path == str(mapped.store.path)
+    result = _run_backend(backend, mapped, sets, activation, k)
+    assert np.array_equal(result.state.matrix, reference.state.matrix)
+    assert sorted(result.central_nodes) == sorted(reference.central_nodes)
+    pool_before = backend.pool
+    pids_before = pool_before.worker_pids()
+    assert pids_before, "pool should be warm after a dispatch"
+
+    # Drop the graph object entirely and reopen the same store: the
+    # path-keyed registry must hand back the very same live pool.
+    del mapped, backend, result
+    reopened = open_store(path)
+    pool_after = pool_module.get_pool(reopened, 1)
+    assert pool_after is pool_before
+    assert pool_after.worker_pids() == pids_before
+    assert pool_after.respawn_count == 0
+
+    backend2 = ProcessPoolBackend(reopened, n_processes=1, persistent=True)
+    result2 = _run_backend(backend2, reopened, sets, activation, k)
+    assert np.array_equal(result2.state.matrix, reference.state.matrix)
+
+
+def test_open_worker_arrays_match_graph(kb_graph, store_path):
+    indptr, indices = open_worker_arrays(store_path)
+    assert np.array_equal(indptr, kb_graph.adj.indptr)
+    assert np.array_equal(indices, kb_graph.adj.indices)
+    assert memmap_base(indptr) is not None
+
+
+# ---------------------------------------------------------------------------
+# Text blob
+# ---------------------------------------------------------------------------
+def test_textblob_sequence_behavior(store_path, kb_graph):
+    graph = open_store(store_path)
+    blob = graph.node_text
+    assert isinstance(blob, TextBlob)
+    assert len(blob) == kb_graph.n_nodes
+    assert blob[0] == kb_graph.node_text[0]
+    assert blob[-1] == kb_graph.node_text[-1]
+    assert blob[2:5] == list(kb_graph.node_text[2:5])
+    assert list(iter(blob))[:10] == list(kb_graph.node_text[:10])
+    with pytest.raises(IndexError):
+        blob[len(blob)]
+
+
+# ---------------------------------------------------------------------------
+# Memory accounting (satellite: resident-estimate, not on-disk-as-heap)
+# ---------------------------------------------------------------------------
+def test_memory_report_distinguishes_mmap_from_heap(kb_graph, store_path):
+    in_ram = kb_graph.memory_report()
+    assert in_ram["mmap"] is False
+    assert in_ram["resident_nbytes"] == in_ram["csr_nbytes"]
+    assert in_ram["store_path"] is None
+
+    mapped = open_store(store_path).memory_report()
+    assert mapped["mmap"] is True
+    assert mapped["store_path"] == str(store_path)
+    assert mapped["store_bytes"] == os.path.getsize(store_path)
+    assert 0 <= mapped["resident_nbytes"] <= mapped["csr_nbytes"]
+    assert mapped["csr_nbytes"] == in_ram["csr_nbytes"]
+
+
+def test_resident_and_allocated_nbytes_helpers(store_path):
+    plain = np.arange(1024, dtype=np.int64)
+    assert resident_nbytes(plain) is None
+    assert allocated_nbytes(plain) == plain.nbytes
+
+    graph = open_store(store_path)
+    mapped = graph.adj.indices
+    estimate = resident_nbytes(mapped)
+    if estimate is not None:  # mincore may be unavailable on some libcs
+        assert 0 <= estimate <= mapped.nbytes
+        assert allocated_nbytes(mapped) == estimate
+    # Touch every page: the whole array must then be resident.
+    mapped.sum()
+    touched = resident_nbytes(mapped)
+    if touched is not None:
+        assert touched == mapped.nbytes
+
+
+def test_search_state_nbytes_counts_heap_exactly():
+    state = SearchState.initialize(
+        64,
+        [np.array([0, 1], dtype=np.int64), np.array([5], dtype=np.int64)],
+        np.zeros(64, dtype=np.int32),
+    )
+    expected = sum(
+        a.nbytes
+        for a in (
+            state.matrix, state.f_identifier, state.c_identifier,
+            state.keyword_node, state.central_level, state.activation,
+            state.finite_count, state.frontier,
+        )
+    )
+    assert state.nbytes() == expected
+
+
+def test_statz_reports_storage_section(store_path):
+    from repro.core.engine import KeywordSearchEngine
+    from repro.obs.metrics import MetricsRegistry
+    from repro.service import SearchService
+    from repro.text.inverted_index import InvertedIndex
+
+    graph = open_store(store_path)
+    engine = KeywordSearchEngine(
+        graph,
+        backend=VectorizedBackend(),
+        index=InvertedIndex.from_graph(graph),
+    )
+    service = SearchService(engine, registry=MetricsRegistry())
+    status, content_type, body = service.handle_path("/statz")
+    assert status == 200
+    payload = json.loads(body)
+    storage = payload["storage"]
+    assert storage["mmap"] is True
+    assert storage["store_path"] == str(store_path)
+    assert storage["resident_nbytes"] <= storage["csr_nbytes"]

@@ -133,3 +133,55 @@ def test_self_loop_statements_dropped():
     entities = [_entity("Q1", "a", {"P31": ["Q1"]})]
     graph, stats = parse_wikidata_dump(io.StringIO(_dump_text(entities)))
     assert graph.n_edges == 0
+
+
+@pytest.mark.parametrize("array_format", [True, False])
+def test_streaming_import_matches_in_ram(tmp_path, array_format):
+    """The two-pass streaming importer builds a bitwise-identical graph."""
+    import numpy as np
+
+    from repro.graph.store import open_store
+    from repro.graph.wikidata import load_wikidata_dump_streaming
+
+    entities = SAMPLE + [
+        _entity("Q6", "duplicate edges", {"P31": ["Q3", "Q3"], "P921": ["Q4"]}),
+        _entity("Q7", "forward ref", {"P279": ["Q8"]}),
+        _entity("Q8", "defined later"),
+    ]
+    path = tmp_path / "dump.json"
+    path.write_text(_dump_text(entities, array_format))
+
+    expected, expected_stats = load_wikidata_dump(
+        str(path), property_labels=COMMON_PROPERTY_LABELS
+    )
+    store = tmp_path / "wd.csrstore"
+    info, stats = load_wikidata_dump_streaming(
+        str(path), str(store), property_labels=COMMON_PROPERTY_LABELS,
+        chunk_edges=2, window_rows=2,
+    )
+    assert stats == expected_stats
+    assert (info.n_nodes, info.n_edges) == (expected.n_nodes, expected.n_edges)
+    streamed = open_store(store)
+    for name in ("out", "inc", "adj"):
+        left, right = getattr(streamed, name), getattr(expected, name)
+        assert np.array_equal(left.indptr, right.indptr)
+        assert np.array_equal(left.indices, right.indices)
+        assert np.array_equal(left.labels, right.labels)
+    assert list(streamed.node_text) == list(expected.node_text)
+    assert streamed.predicates.to_list() == expected.predicates.to_list()
+
+
+def test_streaming_import_respects_max_entities(tmp_path):
+    from repro.graph.store import open_store
+    from repro.graph.wikidata import load_wikidata_dump_streaming
+
+    path = tmp_path / "dump.json"
+    path.write_text(_dump_text(SAMPLE))
+    expected, _ = load_wikidata_dump(str(path), max_entities=2)
+    store = tmp_path / "wd.csrstore"
+    info, stats = load_wikidata_dump_streaming(
+        str(path), str(store), max_entities=2
+    )
+    assert stats.entities_seen == 2
+    assert info.n_nodes == expected.n_nodes
+    assert open_store(store).n_edges == expected.n_edges
