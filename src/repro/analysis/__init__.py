@@ -11,12 +11,23 @@ repo-specific coding contracts that protect it — into machine checks:
   accounting) after every expansion level via shadow-memory write logs;
 * :mod:`~repro.analysis.writelog` — the per-thread, lock-free
   :class:`WriteLog` kernels fill in when a checker is attached;
-* :mod:`~repro.analysis.lint` — AST lint rules ``RPR001``–``RPR008``
+* :mod:`~repro.analysis.lint` — AST lint rules ``RPR001``–``RPR011``
   encoding the repo's contracts (no locks / Python per-edge loops in
   ``@hot_path`` kernels, int64 fancy-index dtype, registered ``REPRO_*``
-  env vars, explicit span parents in pool workers, ...);
+  env vars, explicit span parents in pool workers, read-only
+  store-backed arrays, kernel-binding set equality, ...);
+* :mod:`~repro.analysis.abi` — the kernel ABI contract verifier: parses
+  the exported C prototypes/struct layouts from ``_kernel.c`` and
+  ``_smoke.c`` and cross-checks them against the hand-written ctypes
+  declarations and the ``.csrstore`` header dtypes (``RPRABI01..``);
 * :mod:`~repro.analysis.sanitize` — ASan/UBSan wiring for the compiled
-  kernel tier (``REPRO_SANITIZE=address,undefined``);
+  kernel tier (``REPRO_SANITIZE=address,undefined``) plus the TSan race
+  tier: an instrumented pthread harness racing the real kernel under
+  the audited Theorem V.2 suppression list;
+* :mod:`~repro.analysis.schedules` — the schedule-exploration checker:
+  a deterministic virtual scheduler replaying the thread-pool chunk
+  protocol under permuted/adversarial chunk orders (exhaustive on small
+  fixtures) and demanding bitwise-identical results on every schedule;
 * :mod:`~repro.analysis.faulty` — deliberately broken backends that
   prove the checker fires;
 * :mod:`~repro.analysis.check` — the ``repro check`` gate combining all
@@ -26,12 +37,23 @@ Everything here is opt-in: an unwrapped backend pays a single
 ``is not None`` branch per kernel call and allocates nothing.
 """
 
+from .abi import AbiFinding, AbiReport, run_abi_check
 from .checked import CheckedBackend, InvariantViolation, InvariantViolationError
 from .faulty import FAULT_MODES, FaultyBackend
 from .lint import LintReport, LintViolation, lint_source, run_lint
+from .schedules import (
+    ScheduleFinding,
+    ScheduleReport,
+    VirtualScheduleBackend,
+    explore_schedules,
+    run_schedule_check,
+)
 from .writelog import WriteBatch, WriteLog
 
 __all__ = [
+    "AbiFinding",
+    "AbiReport",
+    "run_abi_check",
     "CheckedBackend",
     "InvariantViolation",
     "InvariantViolationError",
@@ -41,6 +63,11 @@ __all__ = [
     "LintViolation",
     "lint_source",
     "run_lint",
+    "ScheduleFinding",
+    "ScheduleReport",
+    "VirtualScheduleBackend",
+    "explore_schedules",
+    "run_schedule_check",
     "WriteBatch",
     "WriteLog",
 ]

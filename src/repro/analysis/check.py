@@ -1,24 +1,36 @@
 """`repro check` — the repo's static + dynamic analysis gate.
 
-One command that answers "did we break the lock-free design?" four ways:
+One command that answers "did we break the lock-free design?" six ways:
 
-1. **lint** — the repo-specific AST rules (:mod:`repro.analysis.lint`).
-2. **invariants** — a cross-backend fuzz where every parallel backend
+1. **lint** — the repo-specific AST rules (:mod:`repro.analysis.lint`)
+   over ``src`` plus — with per-directory rule allowlists
+   (:data:`LINT_TREES`) — ``tests/`` and ``benchmarks/``.
+2. **ABI contracts** — :mod:`repro.analysis.abi` parses the exported C
+   signatures/struct layouts out of ``_kernel.c``/``_smoke.c`` and
+   cross-checks them against the hand-written ctypes declarations and
+   the ``.csrstore`` header dtypes (rule family ``RPRABI01..``).
+3. **invariants** — a cross-backend fuzz where every parallel backend
    runs wrapped in :class:`~repro.analysis.checked.CheckedBackend` and
    must (a) violate nothing and (b) stay bitwise identical to the
    sequential oracle; plus a self-validation pass proving the checker
    *does* fire on each :data:`~repro.analysis.faulty.FAULT_MODES` class.
-3. **sanitizers** — the compiled kernel tier rebuilt under
-   ASan/UBSan (:mod:`repro.analysis.sanitize`) with a smoke fixture and
-   the parity fuzz; skipped gracefully when the toolchain is missing.
-4. **external** — ``ruff`` / ``mypy`` with the configuration in
+4. **schedules** — :mod:`repro.analysis.schedules` replays the
+   thread-pool chunk protocol under permuted/adversarial chunk orders
+   (exhaustive on small fixtures) and demands bitwise-identical results
+   on every schedule.
+5. **sanitizers** — the compiled kernel tier rebuilt under ASan/UBSan
+   (:mod:`repro.analysis.sanitize`) with a smoke fixture and the parity
+   fuzz, plus the **TSan race tier**: an instrumented harness racing
+   real pthreads through the kernel under the audited Theorem V.2
+   suppression list; skipped gracefully when the toolchain is missing.
+6. **external** — ``ruff`` / ``mypy`` with the configuration in
    ``pyproject.toml``, run only when installed (they are optional dev
    dependencies; the AST lint above carries the repo-specific load).
 
-``--inject {lint,race,sanitizer}`` seeds one violation of the chosen
-class so CI and tests can prove the gate actually gates: exit code 1
-means the seeded violation was caught (the expected outcome), 2 means
-the gate failed to catch it.
+``--inject {lint,abi,race,schedule,sanitizer}`` seeds one violation of
+the chosen class so CI and tests can prove the gate actually gates:
+exit code 1 means the seeded violation was caught (the expected
+outcome), 2 means the gate failed to catch it.
 """
 
 from __future__ import annotations
@@ -31,12 +43,26 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import abi as abi_mod
 from . import lint as lint_mod
 from . import sanitize as sanitize_mod
+from . import schedules as schedules_mod
 from .checked import CheckedBackend
 from .faulty import FAULT_MODES, FaultyBackend
 
 PrintFn = Callable[[str], None]
+
+#: Injection classes `--inject` accepts (one seeded fault per class).
+INJECT_CLASSES = ("lint", "abi", "race", "schedule", "sanitizer")
+
+#: Extra lint trees (relative to the repo root) and the rule ids waived
+#: per tree. Test helpers may keep deliberate mutable defaults (RPR007)
+#: — fixtures built once per call are the idiom there; benchmarks get no
+#: waivers (they feed the figures, so the full discipline applies).
+LINT_TREES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("tests", ("RPR007",)),
+    ("benchmarks", ()),
+)
 
 #: A hot-path snippet breaking several rules at once, used by
 #: ``repro check --inject lint`` to prove the lint stage gates.
@@ -196,10 +222,99 @@ def _repo_root() -> Path:
     return Path(__file__).resolve().parent.parent.parent.parent
 
 
+def run_lint_stage(emit: PrintFn) -> int:
+    """Stage 1: the AST lint over ``src`` plus the allowlisted trees."""
+    failures = 0
+    report = lint_mod.run_lint()
+    for violation in report.violations:
+        emit(f"  {violation}")
+    emit(
+        f"  src: {len(report.violations)} violation(s), "
+        f"{len(report.suppressed)} suppressed, "
+        f"{report.files_checked} file(s)"
+    )
+    failures += len(report.violations)
+    root = _repo_root()
+    for tree, allow in LINT_TREES:
+        tree_path = root / tree
+        if not tree_path.is_dir():
+            emit(f"  {tree}/: not present, skipped")
+            continue
+        tree_report = lint_mod.run_lint(tree_path, allow=allow)
+        for violation in tree_report.violations:
+            emit(f"  {violation}")
+        waived = f", {len(tree_report.allowed)} allowed" if allow else ""
+        emit(
+            f"  {tree}/: {len(tree_report.violations)} violation(s)"
+            f"{waived} (allowlist: {sorted(allow) or 'none'}), "
+            f"{tree_report.files_checked} file(s)"
+        )
+        failures += len(tree_report.violations)
+    return failures
+
+
+def run_abi_stage(emit: PrintFn) -> int:
+    """Stage 2: the C ↔ ctypes ↔ store ABI contract cross-check."""
+    report = abi_mod.run_abi_check()
+    for finding in report.findings:
+        emit(f"  {finding}")
+    emit(
+        f"  {report.functions_checked} function(s), "
+        f"{report.structs_checked} struct(s), "
+        f"{report.sections_checked} store section(s): "
+        f"{len(report.findings)} finding(s)"
+    )
+    return len(report.findings)
+
+
+def run_schedule_stage(emit: PrintFn) -> int:
+    """Stage 4: schedule-exploration replay of the chunk protocol."""
+    report = schedules_mod.run_schedule_check(print_fn=emit)
+    for finding in report.findings:
+        emit(f"  {finding}")
+    emit(
+        f"  {report.schedules_run} schedule(s), "
+        f"{report.levels_replayed} level(s) replayed"
+        f"{', exhaustive tier included' if report.exhaustive else ''}: "
+        f"{len(report.findings)} finding(s)"
+    )
+    return len(report.findings)
+
+
+def run_sanitizer_stage(emit: PrintFn) -> int:
+    """Stage 5: ASan/UBSan smoke + parity, then the TSan race tier."""
+    failures = 0
+    smoke = sanitize_mod.run_smoke()
+    emit(f"  smoke: {'skipped' if smoke.skipped else 'ok' if smoke.ok else 'FAIL'}")
+    if not smoke.ok:
+        emit("  " + smoke.detail.replace("\n", "\n  "))
+        failures += 1
+    if smoke.ok and not smoke.skipped:
+        parity = sanitize_mod.run_parity()
+        emit(
+            "  parity: "
+            + ("skipped" if parity.skipped else "ok" if parity.ok else "FAIL")
+        )
+        if not parity.ok:
+            emit("  " + parity.detail.replace("\n", "\n  "))
+            failures += 1
+    tsan = sanitize_mod.run_tsan_parity()
+    if tsan.skipped:
+        emit(f"  tsan: SKIP ({tsan.detail})")
+    elif tsan.ok:
+        emit(f"  tsan: ok — {tsan.detail}")
+    else:
+        emit("  tsan: FAIL")
+        emit("  " + tsan.detail.replace("\n", "\n  "))
+        failures += 1
+    return failures
+
+
 def run_check(
     inject: Optional[str] = None,
     skip_sanitize: bool = False,
     skip_fuzz: bool = False,
+    skip_schedules: bool = False,
     fuzz_seeds: Sequence[int] = (0, 1, 2, 3),
     print_fn: PrintFn = print,
 ) -> int:
@@ -215,45 +330,33 @@ def run_check(
 
     failures = 0
 
-    emit("[1/4] repo-specific lint (RPR001-RPR008)")
-    report = lint_mod.run_lint()
-    for violation in report.violations:
-        emit(f"  {violation}")
-    emit(
-        f"  {len(report.violations)} violation(s), "
-        f"{len(report.suppressed)} suppressed, "
-        f"{report.files_checked} file(s)"
-    )
-    failures += len(report.violations)
+    emit("[1/6] repo-specific lint (RPR001-RPR011; src, tests, benchmarks)")
+    failures += run_lint_stage(emit)
+
+    emit("[2/6] kernel ABI contracts (C prototypes vs ctypes vs .csrstore)")
+    failures += run_abi_stage(emit)
 
     if skip_fuzz:
-        emit("[2/4] lock-free invariant fuzz: skipped")
+        emit("[3/6] lock-free invariant fuzz: skipped")
     else:
-        emit("[2/4] lock-free invariant fuzz (CheckedBackend, all backends)")
+        emit("[3/6] lock-free invariant fuzz (CheckedBackend, all backends)")
         failures += run_invariant_fuzz(seeds=fuzz_seeds, print_fn=emit)
         emit("  checker self-validation (FaultyBackend)")
         failures += run_faulty_validation(print_fn=emit)
 
-    if skip_sanitize:
-        emit("[3/4] sanitized kernel tier: skipped")
+    if skip_schedules:
+        emit("[4/6] schedule exploration: skipped")
     else:
-        emit("[3/4] sanitized kernel tier (REPRO_SANITIZE=address,undefined)")
-        smoke = sanitize_mod.run_smoke()
-        emit(f"  smoke: {'skipped' if smoke.skipped else 'ok' if smoke.ok else 'FAIL'}")
-        if not smoke.ok:
-            emit("  " + smoke.detail.replace("\n", "\n  "))
-            failures += 1
-        if smoke.ok and not smoke.skipped:
-            parity = sanitize_mod.run_parity()
-            emit(
-                "  parity: "
-                + ("skipped" if parity.skipped else "ok" if parity.ok else "FAIL")
-            )
-            if not parity.ok:
-                emit("  " + parity.detail.replace("\n", "\n  "))
-                failures += 1
+        emit("[4/6] schedule exploration (virtual scheduler, chunk orders)")
+        failures += run_schedule_stage(emit)
 
-    emit("[4/4] external linters (optional)")
+    if skip_sanitize:
+        emit("[5/6] sanitized kernel tier: skipped")
+    else:
+        emit("[5/6] sanitized kernel tier (ASan/UBSan subprocess + TSan harness)")
+        failures += run_sanitizer_stage(emit)
+
+    emit("[6/6] external linters (optional)")
     root = _repo_root()
     failures += _run_external("ruff", ["check", str(root / "src")], emit)
     failures += _run_external(
@@ -284,6 +387,19 @@ def _run_injection(inject: str, emit: PrintFn) -> int:
             return 1
         emit(f"MISSED: only {sorted(rules)} fired, expected {sorted(expected)}")
         return 2
+    if inject == "abi":
+        emit("injecting a parameter-type swap into the parsed kernel ABI")
+        report = abi_mod.run_abi_check(inject="swap")
+        for finding in report.findings:
+            emit(f"  {finding}")
+        if any(
+            finding.code in {"RPRABI03", "RPRABI04"}
+            for finding in report.findings
+        ):
+            emit("caught: the ABI verifier flagged the seeded drift")
+            return 1
+        emit("MISSED: seeded ABI drift went undetected")
+        return 2
     if inject == "race":
         emit("injecting a non-idempotent racing write (FaultyBackend)")
         graph, sets, activation, k = _fuzz_case(2)
@@ -292,10 +408,31 @@ def _run_injection(inject: str, emit: PrintFn) -> int:
         _run(checked, graph, sets, activation, k)
         for violation in checked.violations:
             emit(f"  {violation}")
-        if faulty.faults_injected and checked.violations:
-            emit("caught: CheckedBackend reported the seeded race")
+        if not (faulty.faults_injected and checked.violations):
+            emit("MISSED: seeded race went undetected by CheckedBackend")
+            return 2
+        emit("caught: CheckedBackend reported the seeded race")
+        if sanitize_mod.toolchain_available(sanitize_mod.THREAD_SELECTION):
+            emit("injecting a non-suppressed data race (TSan harness)")
+            tsan = sanitize_mod.run_tsan_inject()
+            emit("  " + tsan.detail.replace("\n", "\n  "))
+            if not tsan.ok:
+                emit("MISSED: TSan did not report the seeded race")
+                return 2
+            emit("caught: TSan reported the seeded race")
+        else:
+            emit("TSan toolchain unavailable: CheckedBackend half only")
+        return 1
+    if inject == "schedule":
+        emit("injecting an order-dependent lost write into the chunk runner")
+        report = schedules_mod.run_schedule_check(inject=True, print_fn=emit)
+        codes = sorted({finding.code for finding in report.findings})
+        for finding in report.findings[:8]:
+            emit(f"  {finding}")
+        if "schedule-divergence" in codes:
+            emit("caught: the schedule explorer flagged the divergence")
             return 1
-        emit("MISSED: seeded race went undetected")
+        emit("MISSED: the order-dependent fault went undetected")
         return 2
     if inject == "sanitizer":
         emit("injecting an out-of-bounds heap write in the smoke fixture")

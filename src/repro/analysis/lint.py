@@ -38,11 +38,27 @@ RPR009    No copying calls (``np.asarray`` / ``np.ascontiguousarray`` /
           tier shares one physical CSR copy across every worker; a
           per-call copy silently re-materializes the graph into private
           heap and breaks the zero-copy contract.
+RPR010    No writes to store-backed (memmap) arrays outside
+          ``StoreWriter``/builder code (``graph/store.py`` and
+          ``graph/builder.py``): no subscript stores into arrays bound
+          from ``np.memmap`` / ``open_worker_arrays``, no
+          ``.setflags(write=True)`` on them, and no writable-mode
+          (``r+`` / ``w+``) memmap construction. The ``.csrstore``
+          tier's safety argument is that workers share *read-only*
+          pages; one stray writable view silently turns shared state
+          into per-process copy-on-write divergence.
+RPR011    Every exported ``_kernel.c`` symbol must have a matching
+          ctypes binding in ``_native.py`` and vice versa — the cheap
+          regex precursor to the full ABI pass
+          (:mod:`repro.analysis.abi`), so plain ``run_lint`` still
+          flags binding drift when no compiler is present.
 ========  ==============================================================
 
 Suppression: append ``# noqa: RPR00x`` (with a justification comment)
 to the offending line; a bare ``# noqa`` suppresses every rule on the
-line. Suppressions are counted and reported.
+line. Rule ids are matched **exactly** (token by token), so a
+``# noqa: RPR001`` can never also silence RPR0010-style longer ids.
+Suppressions are counted and reported.
 """
 
 from __future__ import annotations
@@ -65,10 +81,15 @@ RULES = {
     "RPR007": "mutable default argument",
     "RPR008": "wall-clock time.time() in a figure-producing path",
     "RPR009": "copy of a CSR base array inside @hot_path kernel code",
+    "RPR010": "write to a store-backed memmap array outside StoreWriter/builder",
+    "RPR011": "exported kernel symbol and ctypes binding sets differ",
 }
 
 _ENV_LITERAL = re.compile(r"REPRO_[A-Z][A-Z0-9_]*\Z")
 _NOQA = re.compile(r"#\s*noqa(?::(?P<codes>[\sA-Z0-9,]+))?", re.IGNORECASE)
+#: One rule id inside a ``# noqa:`` code list — letters then digits, so
+#: comma- or space-separated lists tokenize without substring matches.
+_NOQA_CODE = re.compile(r"[A-Za-z]+\d+")
 
 _LOCK_NAMES = {
     "Lock",
@@ -99,6 +120,17 @@ _CSR_BASE_ATTRS = {"indptr", "indices", "indices64", "labels", "degree_array"}
 #: Call names that produce (or may produce) an array copy.
 _COPYING_CALLS = {"asarray", "ascontiguousarray", "copy", "array"}
 
+#: Paths (relative to the package root) allowed to write store-backed
+#: arrays: the store writer itself and the streaming builder.
+_STORE_WRITER_SCOPES = ("graph/store.py", "graph/builder.py")
+
+#: Calls whose result is a store-backed (memmap) array; names bound from
+#: them are tracked for RPR010.
+_MEMMAP_SOURCES = {"memmap", "open_worker_arrays"}
+
+#: ``np.memmap`` modes that produce a writable mapping.
+_WRITABLE_MMAP_MODES = {"r+", "w+", "readwrite", "write"}
+
 
 @dataclass(frozen=True)
 class LintViolation:
@@ -123,11 +155,17 @@ class LintViolation:
 
 @dataclass
 class LintReport:
-    """Outcome of one lint run."""
+    """Outcome of one lint run.
+
+    ``allowed`` holds findings waived by a per-directory rule allowlist
+    (``run_lint(allow=...)``) — reported for transparency but not
+    failures, unlike ``suppressed`` which needs an inline ``# noqa``.
+    """
 
     violations: List[LintViolation] = field(default_factory=list)
     files_checked: int = 0
     suppressed: List[LintViolation] = field(default_factory=list)
+    allowed: List[LintViolation] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -156,16 +194,21 @@ class _FileLinter(ast.NodeVisitor):
         in_parallel: bool,
         figure_scope: bool,
         is_registry: bool,
+        store_writer_scope: bool = False,
     ) -> None:
         self.path = path
         self.registered_env = registered_env
         self.in_parallel = in_parallel
         self.figure_scope = figure_scope
         self.is_registry = is_registry
+        self.store_writer_scope = store_writer_scope
         self.violations: List[LintViolation] = []
         # Stack of per-function "is hot path" flags; hotness is inherited
         # by nested helpers defined inside a hot kernel.
         self._hot_stack: List[bool] = []
+        # Names bound (anywhere in the module) from np.memmap /
+        # open_worker_arrays — the store-backed arrays RPR010 guards.
+        self._memmap_names: Set[str] = set()
 
     # ------------------------------------------------------------------
     def _emit(self, node: ast.AST, rule: str, message: str) -> None:
@@ -222,6 +265,67 @@ class _FileLinter(ast.NodeVisitor):
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._visit_function(node)
+
+    # ------------------------------------------------------------------
+    # RPR010 — store-backed memmap arrays are read-only outside the
+    # writer/builder
+    # ------------------------------------------------------------------
+    def _is_memmap_source(self, value: ast.expr) -> bool:
+        return (
+            isinstance(value, ast.Call)
+            and _terminal_name(value.func) in _MEMMAP_SOURCES
+        )
+
+    def _track_memmap_binding(
+        self, targets: Sequence[ast.expr], value: ast.expr
+    ) -> None:
+        if not self._is_memmap_source(value):
+            return
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self._memmap_names.add(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    if isinstance(element, ast.Name):
+                        self._memmap_names.add(element.id)
+
+    def _touches_memmap_name(self, node: ast.expr) -> Optional[str]:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id in self._memmap_names:
+                return sub.id
+        return None
+
+    def _check_memmap_store(self, targets: Sequence[ast.expr]) -> None:
+        if self.store_writer_scope:
+            return
+        for target in targets:
+            if not isinstance(target, ast.Subscript):
+                continue
+            name = self._touches_memmap_name(target.value)
+            if name is not None:
+                self._emit(
+                    target,
+                    "RPR010",
+                    f"subscript store into store-backed array '{name}' "
+                    "(bound from np.memmap/open_worker_arrays); store "
+                    "pages are shared read-only across workers — only "
+                    "StoreWriter/builder code may write them",
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._track_memmap_binding(node.targets, node.value)
+        self._check_memmap_store(node.targets)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._track_memmap_binding([node.target], node.value)
+            self._check_memmap_store([node.target])
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_memmap_store([node.target])
+        self.generic_visit(node)
 
     # ------------------------------------------------------------------
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
@@ -317,6 +421,38 @@ class _FileLinter(ast.NodeVisitor):
                         "across workers — use the array (or its cached "
                         "read-only views) directly",
                     )
+        if not self.store_writer_scope:
+            if (
+                name == "setflags"
+                and isinstance(node.func, ast.Attribute)
+                and any(
+                    keyword.arg == "write"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                    for keyword in node.keywords
+                )
+                and self._touches_memmap_name(node.func.value) is not None
+            ):
+                self._emit(
+                    node,
+                    "RPR010",
+                    ".setflags(write=True) re-arms a store-backed array; "
+                    "store pages are shared read-only across workers",
+                )
+            if name == "memmap":
+                for keyword in node.keywords:
+                    if (
+                        keyword.arg == "mode"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value in _WRITABLE_MMAP_MODES
+                    ):
+                        self._emit(
+                            node,
+                            "RPR010",
+                            f"writable np.memmap (mode={keyword.value.value!r}) "
+                            "outside StoreWriter/builder code; the store "
+                            "contract maps sections read-only",
+                        )
         if (
             self.in_parallel
             and self._in_nested_function
@@ -413,8 +549,11 @@ def _split_suppressed(
         match = _NOQA.search(line)
         if match:
             codes = match.group("codes")
+            # Exact-id matching: tokenize the code list (letters+digits
+            # per token) and compare whole ids, so "RPR001" can never
+            # also suppress a longer id like "RPR0010".
             if codes is None or violation.rule in {
-                code.strip().upper() for code in codes.split(",")
+                code.upper() for code in _NOQA_CODE.findall(codes)
             }:
                 suppressed.append(violation)
                 continue
@@ -425,6 +564,78 @@ def _split_suppressed(
 def package_root() -> Path:
     """The installed ``repro`` package directory (the default lint root)."""
     return Path(__file__).resolve().parent.parent
+
+
+# ---------------------------------------------------------------------------
+# RPR011 — kernel export / ctypes binding set equality (regex precursor
+# to the full ABI pass in :mod:`repro.analysis.abi`; needs no compiler)
+# ---------------------------------------------------------------------------
+_C_EXPORT = re.compile(
+    r"(?m)^(?:int64_t|int32_t|int16_t|int8_t|uint64_t|uint32_t|uint16_t"
+    r"|uint8_t|void|double|float|int|long)\s+\*?\s*"
+    r"(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*\("
+)
+_NATIVE_BINDING = re.compile(r"library\.(?P<name>[A-Za-z_][A-Za-z0-9_]*)")
+
+
+def kernel_binding_violations(
+    kernel_source: Optional[str] = None,
+    native_source: Optional[str] = None,
+) -> List[LintViolation]:
+    """RPR011: exported ``_kernel.c`` symbols ↔ ``_native.py`` bindings.
+
+    A symbol exported but never bound is dead (or worse: bound via a
+    stale name elsewhere); a ``library.X`` binding without a matching
+    export fails at load time only on machines with a compiler. Both
+    directions are findings.
+    """
+    kernel_path = package_root() / "parallel" / "_kernel.c"
+    native_path = package_root() / "parallel" / "_native.py"
+    if kernel_source is None:
+        kernel_source = kernel_path.read_text(encoding="utf-8")
+    if native_source is None:
+        native_source = native_path.read_text(encoding="utf-8")
+
+    exports = {}
+    for match in _C_EXPORT.finditer(kernel_source):
+        exports[match.group("name")] = (
+            kernel_source[: match.start()].count("\n") + 1
+        )
+    bindings = {}
+    for match in _NATIVE_BINDING.finditer(native_source):
+        bindings.setdefault(
+            match.group("name"),
+            native_source[: match.start()].count("\n") + 1,
+        )
+
+    violations: List[LintViolation] = []
+    for name in sorted(set(exports) - set(bindings)):
+        violations.append(
+            LintViolation(
+                path=str(kernel_path),
+                line=exports[name],
+                col=0,
+                rule="RPR011",
+                message=(
+                    f"_kernel.c exports '{name}' but _native.py never "
+                    "binds it (library.{0} missing)".format(name)
+                ),
+            )
+        )
+    for name in sorted(set(bindings) - set(exports)):
+        violations.append(
+            LintViolation(
+                path=str(native_path),
+                line=bindings[name],
+                col=0,
+                rule="RPR011",
+                message=(
+                    f"_native.py binds 'library.{name}' but _kernel.c "
+                    "exports no such symbol"
+                ),
+            )
+        )
+    return violations
 
 
 def lint_source(
@@ -455,27 +666,61 @@ def lint_source(
     in_parallel = rel is None or rel.startswith("parallel")
     figure_scope = rel is None or rel.startswith(_FIGURE_SCOPES)
     is_registry = rel is not None and rel.endswith("obs/config.py")
+    store_writer_scope = rel is not None and rel in _STORE_WRITER_SCOPES
     linter = _FileLinter(
         path=path,
         registered_env=registered_env,
         in_parallel=in_parallel,
         figure_scope=figure_scope,
         is_registry=is_registry,
+        store_writer_scope=store_writer_scope,
     )
-    linter.visit(ast.parse(source))
+    tree = ast.parse(source)
+    # Pre-pass: bind memmap-sourced names module-wide before rule checks,
+    # so a write above its binding in source order is still flagged.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            linter._track_memmap_binding(node.targets, node.value)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            linter._track_memmap_binding([node.target], node.value)
+    linter.visit(tree)
     return _split_suppressed(linter.violations, source)
 
 
-def run_lint(root: Optional[Path] = None) -> LintReport:
-    """Lint every module under ``root`` (default: the ``repro`` package)."""
+def run_lint(
+    root: Optional[Path] = None,
+    allow: Optional[Sequence[str]] = None,
+    registered_env: Optional[Set[str]] = None,
+) -> LintReport:
+    """Lint every module under ``root`` (default: the ``repro`` package).
+
+    Args:
+        root: directory tree to lint.
+        allow: rule ids waived for this whole tree (the per-directory
+            allowlist ``repro check`` uses for ``tests/`` and
+            ``benchmarks/``, e.g. deliberate mutable defaults in test
+            helpers). Waived findings land in ``report.allowed``.
+        registered_env: the ``REPRO_*`` registry to validate against.
+            Defaults to the tree's own ``obs/config.py`` when present,
+            else the installed package's registry — so linting ``tests/``
+            does not misflag legitimate uses of registered variables.
+    """
     root = Path(root) if root is not None else package_root()
-    config_path = root / "obs" / "config.py"
-    if config_path.exists():
-        registered = registered_env_vars(
-            config_path.read_text(encoding="utf-8")
-        )
-    else:  # linting a tree that is not the repro package
-        registered = registered_env_vars("")
+    is_package_root = root.resolve() == package_root()
+    allowed_rules = set(allow or ())
+    if registered_env is None:
+        config_path = root / "obs" / "config.py"
+        if config_path.exists():
+            registered_env = registered_env_vars(
+                config_path.read_text(encoding="utf-8")
+            )
+        else:  # a non-package tree validates against the real registry
+            fallback = package_root() / "obs" / "config.py"
+            registered_env = registered_env_vars(
+                fallback.read_text(encoding="utf-8")
+                if fallback.exists()
+                else ""
+            )
     report = LintReport()
     for module in sorted(root.rglob("*.py")):
         rel = module.relative_to(root).as_posix()
@@ -483,12 +728,23 @@ def run_lint(root: Optional[Path] = None) -> LintReport:
         violations, suppressed = lint_source(
             source,
             path=str(module),
-            registered_env=registered,
+            registered_env=registered_env,
             relative_to_package=rel,
         )
-        report.violations.extend(violations)
+        for violation in violations:
+            if violation.rule in allowed_rules:
+                report.allowed.append(violation)
+            else:
+                report.violations.append(violation)
         report.suppressed.extend(suppressed)
         report.files_checked += 1
+    if is_package_root:
+        # RPR011 spans two files, so it runs once per tree, not per file.
+        for violation in kernel_binding_violations():
+            if violation.rule in allowed_rules:
+                report.allowed.append(violation)
+            else:
+                report.violations.append(violation)
     report.violations.sort(key=lambda v: (v.path, v.line, v.col))
     return report
 

@@ -25,6 +25,27 @@ Entry points:
   sanitized native kernel loaded.
 * ``python -m repro.analysis.sanitize --smoke|--parity [--inject]`` —
   the child-process driver the two functions spawn.
+
+The **ThreadSanitizer tier** (``REPRO_SANITIZE=thread``) works
+differently: TSan's runtime must own the process from the very first
+allocation, so — unlike ASan — it cannot be LD_PRELOADed into an
+uninstrumented Python (it segfaults at interpreter startup). The race
+tier therefore compiles ``_tsan_harness.c`` *together with the real
+``_kernel.c``* into a fully instrumented executable that replays the
+``ThreadPoolBackend`` chunk-per-thread level protocol with genuine
+pthreads racing on the shared ``M``/``FIdentifier`` arrays:
+
+* :func:`run_tsan_parity` — runs the harness under the curated
+  suppression list (:data:`THEOREM_V2_SUPPRESSIONS`, naming exactly the
+  Theorem V.2 idempotent write sites), fails on any *new* race report,
+  and compares the racing result bitwise against an independent
+  sequential NumPy oracle;
+* :func:`run_tsan_inject` — the harness's deliberately non-idempotent
+  racing write (in a function no suppression names); TSan must report
+  it, proving the tier is armed;
+* :func:`audit_suppressions` — every suppression entry must name an
+  exported kernel symbol and cite the Theorem V.2 site it covers; a
+  blanket or unmapped suppression fails ``repro check``.
 """
 
 from __future__ import annotations
@@ -32,6 +53,7 @@ from __future__ import annotations
 import ctypes
 import hashlib
 import os
+import re
 import shutil
 import subprocess
 import sys
@@ -44,8 +66,47 @@ from ..parallel import _native
 #: Default selection for `repro check` and CI.
 DEFAULT_SELECTION = ("address", "undefined")
 
+#: The race tier's selection (compiled into the harness executable).
+THREAD_SELECTION = ("thread",)
+
 _SMOKE_SOURCE = Path(__file__).with_name("_smoke.c")
+_HARNESS_SOURCE = Path(__file__).with_name("_tsan_harness.c")
+_KERNEL_SOURCE = (
+    Path(__file__).resolve().parent.parent / "parallel" / "_kernel.c"
+)
 _BUILD_DIR = Path(__file__).with_name("_build")
+
+#: ctypes signatures of every symbol ``_smoke.c`` exports. The child
+#: driver binds through this table, and :mod:`repro.analysis.abi`
+#: cross-checks it against the parsed C prototypes, so a fixture edit
+#: that drifts from its binding is caught statically.
+SMOKE_BINDINGS: "Dict[str, Tuple[object, Tuple[object, ...]]]" = {
+    "smoke_clean": (ctypes.c_int64, (ctypes.c_int64,)),
+    "smoke_faulty": (ctypes.c_int64, (ctypes.c_int64,)),
+}
+
+#: The curated TSan suppression list: ``(suppression, citation)`` pairs.
+#: Policy (enforced by :func:`audit_suppressions` on every run): each
+#: entry must be a plain ``race:<symbol>`` naming an **exported kernel
+#: symbol**, and its citation must identify the Theorem V.2 idempotent
+#: write site it covers. Nothing else may be suppressed — any other
+#: report is a *new* race and fails the check.
+THEOREM_V2_SUPPRESSIONS: "Tuple[Tuple[str, str], ...]" = (
+    (
+        "race:fused_expand",
+        "Theorem V.2 idempotent stores in _kernel.c fused_expand: racing "
+        "chunks store the same constants matrix[v*q+c] = next_level and "
+        "fid[v] = 1 (plus the benign live matrix re-read that dedups "
+        "scatter targets).",
+    ),
+    (
+        "race:fused_expand_lanes",
+        "Theorem V.2 idempotent stores in _kernel.c fused_expand_lanes: "
+        "the coalesced cross-query lane kernel writes the same "
+        "matrix[...] = next_level and fid[v] = 1 constants from every "
+        "racing lane chunk.",
+    ),
+)
 
 
 @dataclass(frozen=True)
@@ -92,6 +153,8 @@ def _runtime_library(name: str) -> Optional[str]:
 def toolchain_available(selection: Tuple[str, ...] = DEFAULT_SELECTION) -> bool:
     """Can this host build and preload the requested sanitizers?"""
     if "address" in selection and _runtime_library("libasan.so") is None:
+        return False
+    if "thread" in selection and _runtime_library("libtsan.so") is None:
         return False
     return shutil.which("cc") is not None or shutil.which("gcc") is not None
 
@@ -219,6 +282,356 @@ def run_parity(
 
 
 # ---------------------------------------------------------------------------
+# ThreadSanitizer race tier (instrumented harness executable)
+# ---------------------------------------------------------------------------
+def declared_idempotent_sites() -> "Tuple[str, ...]":
+    """Kernel symbols whose racing writes are declared benign."""
+    return tuple(
+        entry.split(":", 1)[1] for entry, _ in THEOREM_V2_SUPPRESSIONS
+    )
+
+
+def audit_suppressions() -> List[str]:
+    """Validate the suppression list against the policy; returns
+    problems (empty = every entry maps to a declared idempotent site).
+    """
+    from .abi import parse_c_exports
+
+    problems: List[str] = []
+    try:
+        exported = {
+            fn.name
+            for fn in parse_c_exports(
+                _KERNEL_SOURCE.read_text(encoding="utf-8")
+            )
+        }
+    except Exception as exc:  # noqa: BLE001 - audit must report, not crash
+        return [f"cannot parse kernel exports: {exc}"]
+    pattern = re.compile(r"race:[A-Za-z_][A-Za-z0-9_]*\Z")
+    for entry, citation in THEOREM_V2_SUPPRESSIONS:
+        if not pattern.fullmatch(entry):
+            problems.append(
+                f"suppression {entry!r} is not a plain race:<symbol> entry "
+                "(wildcards/blankets are banned)"
+            )
+            continue
+        symbol = entry.split(":", 1)[1]
+        if symbol not in exported:
+            problems.append(
+                f"suppression {entry!r} names '{symbol}', which is not an "
+                "exported _kernel.c symbol"
+            )
+        if "Theorem V.2" not in citation or "idempotent" not in citation:
+            problems.append(
+                f"suppression {entry!r} does not cite the Theorem V.2 "
+                "idempotent write site it covers"
+            )
+    return problems
+
+
+def write_suppressions(path: Optional[Path] = None) -> Path:
+    """Materialize the suppression list for ``TSAN_OPTIONS``."""
+    target = path or (_BUILD_DIR / "tsan-suppressions.txt")
+    target.parent.mkdir(parents=True, exist_ok=True)
+    lines = [
+        "# Generated from repro.analysis.sanitize.THEOREM_V2_SUPPRESSIONS.",
+        "# Every entry must cite its Theorem V.2 idempotent write site;",
+        "# audit_suppressions() enforces the policy on every run.",
+    ]
+    for entry, citation in THEOREM_V2_SUPPRESSIONS:
+        lines.append(f"# {citation}")
+        lines.append(entry)
+    target.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return target
+
+
+def _compile_tsan_harness() -> Optional[Path]:
+    """Build the instrumented harness + kernel executable (cached)."""
+    source = _HARNESS_SOURCE.read_bytes() + _KERNEL_SOURCE.read_bytes()
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    target = _BUILD_DIR / f"tsan-harness-{digest}"
+    if target.exists():
+        return target
+    _BUILD_DIR.mkdir(parents=True, exist_ok=True)
+    compiler = os.environ.get("CC") or shutil.which("cc") or shutil.which("gcc")
+    if compiler is None:
+        return None
+    cmd = [
+        compiler,
+        "-O1",
+        "-g",
+        "-fno-omit-frame-pointer",
+        "-fsanitize=thread",
+        "-pthread",
+        str(_HARNESS_SOURCE),
+        str(_KERNEL_SOURCE),
+        "-o",
+        str(target),
+    ]
+    try:
+        result = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=120, check=False
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if result.returncode != 0 or not target.exists():
+        return None
+    return target
+
+
+def _tsan_fixture(
+    seed: int, n: int = 400, q: int = 8
+) -> "Tuple[object, object, object, object]":
+    """A hub-heavy symmetric CSR plus q keyword seed sets.
+
+    Hubs guarantee that racing chunks share scatter targets, so the
+    Theorem V.2 races actually occur under the detector instead of the
+    threads accidentally partitioning the writes.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed * 9176 + 11)
+    pairs = set()
+    # Preferential-attachment-flavored edges: low ids are hubs.
+    for u in range(1, n):
+        degree = int(rng.integers(1, 6))
+        hubs = rng.integers(0, max(1, u // 8) + 1, size=degree)
+        uniform = rng.integers(0, u, size=2)
+        for v in list(hubs) + list(uniform):
+            v = int(v)
+            if v != u:
+                pairs.add((min(u, v), max(u, v)))
+    rows: "List[List[int]]" = [[] for _ in range(n)]
+    for u, v in pairs:
+        rows[u].append(v)
+        rows[v].append(u)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    for u in range(n):
+        rows[u].sort()
+        indptr[u + 1] = indptr[u] + len(rows[u])
+    indices = np.concatenate(
+        [np.asarray(row, dtype=np.int32) for row in rows if row]
+    ) if pairs else np.empty(0, dtype=np.int32)
+    matrix = np.full((n, q), 0xFF, dtype=np.uint8)
+    fid = np.zeros(n, dtype=np.uint8)
+    for column in range(q):
+        seeds = rng.integers(0, n, size=int(rng.integers(2, 7)))
+        matrix[seeds, column] = 0
+        fid[seeds] = 1
+    return indptr, indices, matrix, fid
+
+
+def _tsan_oracle(
+    indptr: "object",
+    indices: "object",
+    matrix: "object",
+    fid: "object",
+    level_cap: int,
+) -> "Tuple[object, object, int]":
+    """Independent sequential NumPy replay of the harness's level loop.
+
+    Same protocol (snapshot eligibility, idempotent scatter, frontier
+    drain), no shared code with the C kernel — divergence means the
+    racing writes were not benign.
+    """
+    import numpy as np
+
+    matrix = matrix.copy()
+    fid = fid.copy()
+    n, q = matrix.shape
+    indices64 = indices.astype(np.int64)
+    level = 0
+    while level < level_cap:
+        frontier = np.flatnonzero(fid).astype(np.int64)
+        if len(frontier) == 0:
+            break
+        fid[frontier] = 0
+        eligible = matrix[frontier] <= level
+        degrees = (indptr[frontier + 1] - indptr[frontier]).astype(np.int64)
+        total = int(degrees.sum())
+        if total:
+            offsets = np.concatenate(([0], np.cumsum(degrees)[:-1]))
+            positions = (
+                np.repeat(indptr[frontier] - offsets, degrees)
+                + np.arange(total)
+            )
+            targets = indices64[positions]
+            source_row = np.repeat(np.arange(len(frontier)), degrees)
+            hits = eligible[source_row] & (matrix[targets] == 0xFF)
+            flat = np.flatnonzero(hits)
+            if len(flat):
+                edge_idx, col_idx = np.divmod(flat, q)
+                hit_targets = targets[edge_idx]
+                matrix[hit_targets, col_idx] = level + 1
+                fid[hit_targets] = 1
+        level += 1
+    return matrix, fid, level
+
+
+def _tsan_env(suppressions: Optional[Path]) -> Dict[str, str]:
+    env = dict(os.environ)
+    options = ["halt_on_error=0", "exitcode=66", "history_size=7"]
+    if suppressions is not None:
+        options.insert(0, f"suppressions={suppressions}")
+    env["TSAN_OPTIONS"] = ":".join(options)
+    return env
+
+
+def run_tsan_parity(
+    seeds: "Tuple[int, ...]" = (0, 1),
+    n_threads: int = 8,
+    repeats: int = 3,
+) -> SanitizeResult:
+    """The race-tier gate: parity fuzz under TSan + suppression audit.
+
+    Green means: the suppression list passed the policy audit, the
+    racing chunk replay reported **zero unsuppressed races**, and its
+    final ``M``/``FIdentifier`` matched the sequential oracle bitwise on
+    every seed.
+    """
+    import numpy as np
+
+    if not toolchain_available(THREAD_SELECTION):
+        return SanitizeResult(
+            ok=True,
+            detail="TSan toolchain unavailable (no cc or libtsan.so)",
+            skipped=True,
+        )
+    problems = audit_suppressions()
+    if problems:
+        return SanitizeResult(
+            ok=False,
+            detail="suppression audit failed:\n" + "\n".join(problems),
+        )
+    harness = _compile_tsan_harness()
+    if harness is None:
+        return SanitizeResult(
+            ok=False, detail="failed to compile the TSan harness"
+        )
+    suppressions = write_suppressions()
+    import tempfile
+
+    for seed in seeds:
+        indptr, indices, matrix, fid = _tsan_fixture(seed)
+        n, q = matrix.shape
+        level_cap = 32
+        with tempfile.TemporaryDirectory(prefix="repro-tsan-") as tmp:
+            in_path = Path(tmp) / "fixture.bin"
+            out_path = Path(tmp) / "result.bin"
+            header = np.asarray(
+                [n, q, len(indices), level_cap], dtype=np.int64
+            )
+            with open(in_path, "wb") as handle:
+                handle.write(header.tobytes())
+                handle.write(indptr.tobytes())
+                handle.write(indices.tobytes())
+                handle.write(matrix.tobytes())
+                handle.write(fid.tobytes())
+            try:
+                result = subprocess.run(
+                    [
+                        str(harness),
+                        "parity",
+                        str(in_path),
+                        str(out_path),
+                        str(n_threads),
+                        str(repeats),
+                    ],
+                    env=_tsan_env(suppressions),
+                    capture_output=True,
+                    text=True,
+                    timeout=600,
+                    check=False,
+                )
+            except (OSError, subprocess.SubprocessError) as exc:
+                return SanitizeResult(
+                    ok=False, detail=f"harness failed to run: {exc}"
+                )
+            combined = result.stdout + result.stderr
+            if result.returncode == 66 or "WARNING: ThreadSanitizer" in combined:
+                tail = "\n".join(combined.strip().splitlines()[-25:])
+                return SanitizeResult(
+                    ok=False,
+                    detail=(
+                        f"seed {seed}: NEW data race outside the declared "
+                        f"Theorem V.2 sites:\n{tail}"
+                    ),
+                    sanitizer_report=True,
+                )
+            if result.returncode != 0:
+                return SanitizeResult(
+                    ok=False,
+                    detail=f"seed {seed}: harness exited "
+                    f"{result.returncode}:\n{combined.strip()[-800:]}",
+                )
+            payload = out_path.read_bytes()
+            got_matrix = np.frombuffer(
+                payload[8 : 8 + n * q], dtype=np.uint8
+            ).reshape(n, q)
+            got_fid = np.frombuffer(payload[8 + n * q :], dtype=np.uint8)
+            want_matrix, want_fid, _ = _tsan_oracle(
+                indptr, indices, matrix, fid, level_cap
+            )
+            if not np.array_equal(got_matrix, want_matrix) or not (
+                np.array_equal(got_fid, want_fid)
+            ):
+                return SanitizeResult(
+                    ok=False,
+                    detail=f"seed {seed}: racing replay diverged from the "
+                    "sequential oracle (idempotence broken)",
+                )
+    return SanitizeResult(
+        ok=True,
+        detail=(
+            f"{len(seeds)} seed(s) x {repeats} repeats x {n_threads} "
+            "racing threads: bitwise-identical to the sequential oracle, "
+            "0 unsuppressed races "
+            f"({len(THEOREM_V2_SUPPRESSIONS)} suppression(s) audited)"
+        ),
+    )
+
+
+def run_tsan_inject() -> SanitizeResult:
+    """Seeded non-suppressed race; ``ok`` means TSan reported it."""
+    if not toolchain_available(THREAD_SELECTION):
+        return SanitizeResult(
+            ok=True,
+            detail="TSan toolchain unavailable (no cc or libtsan.so)",
+            skipped=True,
+        )
+    harness = _compile_tsan_harness()
+    if harness is None:
+        return SanitizeResult(
+            ok=False, detail="failed to compile the TSan harness"
+        )
+    suppressions = write_suppressions()
+    try:
+        result = subprocess.run(
+            [str(harness), "inject", "2"],
+            env=_tsan_env(suppressions),
+            capture_output=True,
+            text=True,
+            timeout=300,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError) as exc:
+        return SanitizeResult(ok=False, detail=f"harness failed to run: {exc}")
+    combined = result.stdout + result.stderr
+    caught = result.returncode == 66 or "WARNING: ThreadSanitizer" in combined
+    tail = "\n".join(combined.strip().splitlines()[-15:])
+    if caught:
+        return SanitizeResult(
+            ok=True,
+            detail="TSan reported the seeded non-idempotent race:\n" + tail,
+            sanitizer_report=True,
+        )
+    return SanitizeResult(
+        ok=False,
+        detail="seeded non-suppressed race was NOT reported:\n" + tail,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Child-process driver
 # ---------------------------------------------------------------------------
 def _child_smoke(inject: bool) -> int:
@@ -228,10 +641,10 @@ def _child_smoke(inject: bool) -> int:
         print("smoke: failed to compile _smoke.c with sanitizers")
         return 3
     library = ctypes.CDLL(str(library_path))
-    for symbol in ("smoke_clean", "smoke_faulty"):
+    for symbol, (restype, argtypes) in SMOKE_BINDINGS.items():
         fn = getattr(library, symbol)
-        fn.restype = ctypes.c_int64
-        fn.argtypes = [ctypes.c_int64]
+        fn.restype = restype
+        fn.argtypes = list(argtypes)
     if inject:
         print("smoke: calling deliberately out-of-bounds smoke_faulty(64)")
         value = library.smoke_faulty(64)  # ASan aborts here when armed

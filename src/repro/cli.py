@@ -222,21 +222,29 @@ def _build_parser() -> argparse.ArgumentParser:
 
     check = commands.add_parser(
         "check",
-        help="static + dynamic analysis gate: repo lint, lock-free "
-             "invariant fuzz (CheckedBackend), sanitized kernel tier",
+        help="static + dynamic analysis gate: repo lint, kernel ABI "
+             "contracts, lock-free invariant fuzz (CheckedBackend), "
+             "schedule exploration, sanitized kernel tier (ASan/UBSan "
+             "+ TSan race tier)",
     )
     check.add_argument(
-        "--inject", choices=("lint", "race", "sanitizer"),
+        "--inject",
+        choices=("lint", "abi", "race", "schedule", "sanitizer"),
         help="seed one violation of the chosen class to prove the gate "
              "gates (exit 1 = caught, 2 = missed)",
     )
     check.add_argument(
         "--skip-sanitize", action="store_true",
-        help="skip the ASan/UBSan kernel rebuild (slowest stage)",
+        help="skip the sanitizer stage (ASan/UBSan rebuild + TSan "
+             "harness; slowest stage)",
     )
     check.add_argument(
         "--skip-fuzz", action="store_true",
         help="skip the cross-backend invariant fuzz",
+    )
+    check.add_argument(
+        "--skip-schedules", action="store_true",
+        help="skip the schedule-exploration replay",
     )
     check.add_argument(
         "--fuzz-seeds", type=int, default=4,
@@ -562,6 +570,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         inject=args.inject,
         skip_sanitize=args.skip_sanitize,
         skip_fuzz=args.skip_fuzz,
+        skip_schedules=args.skip_schedules,
         fuzz_seeds=tuple(range(args.fuzz_seeds)),
     )
 

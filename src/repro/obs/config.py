@@ -78,6 +78,12 @@ ENV_POOL_PERSIST = "REPRO_POOL_PERSIST"
 #: ``n_workers`` argument.
 ENV_POOL_WORKERS = "REPRO_POOL_WORKERS"
 
+#: Opt-in gate for the out-of-core store smoke
+#: (``tests/test_store_outofcore.py``): ``REPRO_OOC_SMOKE=1`` runs the
+#: rlimit-capped subprocess test the dedicated CI job exercises; the
+#: tier-1 suite skips it.
+ENV_OOC_SMOKE = "REPRO_OOC_SMOKE"
+
 
 def obs_enabled() -> bool:
     """True unless ``REPRO_OBS=0`` vetoes telemetry."""

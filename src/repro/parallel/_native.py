@@ -40,8 +40,13 @@ ENV_FLAG = "REPRO_NATIVE_KERNEL"
 #: environment and runs the checks in a subprocess.
 ENV_SANITIZE = "REPRO_SANITIZE"
 
-#: Sanitizers this tier knows how to wire up.
-KNOWN_SANITIZERS = ("address", "undefined")
+#: Sanitizers this tier knows how to wire up. ``thread`` compiles with
+#: ``-fsanitize=thread`` into its own cached object; note that the TSan
+#: runtime cannot be preloaded into an uninstrumented Python, so the
+#: race tier executes through the instrumented harness binary built by
+#: :mod:`repro.analysis.sanitize` rather than a sanitized ``.so`` in a
+#: Python child.
+KNOWN_SANITIZERS = ("address", "thread", "undefined")
 
 _SOURCE_PATH = Path(__file__).with_name("_kernel.c")
 _BUILD_DIR = Path(__file__).with_name("_build")
@@ -69,6 +74,12 @@ def sanitize_selection(value: Optional[str] = None) -> "tuple[str, ...]":
             f"unknown sanitizer(s) {unknown!r} in {ENV_SANITIZE}; "
             f"known: {', '.join(KNOWN_SANITIZERS)}"
         )
+    if "thread" in selected and "address" in selected:
+        # The two runtimes shadow memory differently and refuse to
+        # coexist in one process; a combined build links but crashes.
+        raise ValueError(
+            f"'address' and 'thread' cannot be combined in {ENV_SANITIZE}"
+        )
     return tuple(selected)
 
 
@@ -76,11 +87,15 @@ def sanitize_cflags(selection: "tuple[str, ...]") -> "tuple[str, ...]":
     """Extra compile flags for a sanitized build (empty when none)."""
     if not selection:
         return ()
-    return (
+    flags = (
         f"-fsanitize={','.join(selection)}",
         "-fno-omit-frame-pointer",
         "-g",
     )
+    if "thread" in selection:
+        # TSan needs the pthread interceptors linked into the object.
+        flags += ("-pthread",)
+    return flags
 
 
 def _compilers() -> "list[str]":

@@ -1,0 +1,200 @@
+"""Tests for the kernel ABI contract verifier (``repro.analysis.abi``).
+
+The verifier's job is to make C ↔ ctypes ↔ store drift impossible to
+land silently, so the tests cover all three legs: the C prototype/struct
+parser, the ctypes declaration extractor, the cross-check (clean on the
+real repo, loud on seeded drift), and the ``.csrstore`` header contract.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import abi
+
+
+# ---------------------------------------------------------------------------
+# C prototype parsing
+# ---------------------------------------------------------------------------
+def test_parse_c_exports_basic_prototype():
+    functions = abi.parse_c_exports(
+        textwrap.dedent(
+            """
+            int64_t add_all(int64_t n, const int64_t* values) {
+                return 0;
+            }
+            """
+        )
+    )
+    assert len(functions) == 1
+    fn = functions[0]
+    assert fn.name == "add_all"
+    assert str(fn.restype) == "int64"
+    assert [(p.name, str(p.ctype)) for p in fn.params] == [
+        ("n", "int64"),
+        ("values", "int64*"),
+    ]
+
+
+def test_parse_c_exports_skips_static_and_control_flow():
+    functions = abi.parse_c_exports(
+        textwrap.dedent(
+            """
+            static void helper(int64_t x) { }
+
+            int64_t exported(int64_t x) {
+                if (x) {
+                    return x;
+                }
+                while (x) { }
+                return 0;
+            }
+            """
+        )
+    )
+    assert [fn.name for fn in functions] == ["exported"]
+
+
+def test_parse_c_exports_pointer_and_unsigned_params():
+    (fn,) = abi.parse_c_exports(
+        "void scatter(uint8_t* matrix, const uint64_t* words, uint8_t v) {\n}"
+    )
+    assert str(fn.restype) == "void"
+    assert [str(p.ctype) for p in fn.params] == ["uint8*", "uint64*", "uint8"]
+
+
+def test_parse_c_exports_rejects_unknown_types():
+    with pytest.raises(abi.AbiParseError):
+        abi.parse_c_exports("wchar_t weird(wchar_t x) {\n}")
+
+
+def test_parse_c_structs_natural_alignment():
+    (struct,) = abi.parse_c_structs(
+        textwrap.dedent(
+            """
+            typedef struct {
+                int32_t a;
+                int64_t b;
+                uint8_t c;
+            } Packed;
+            """
+        )
+    )
+    assert struct.name == "Packed"
+    offsets = {f.name: f.offset for f in struct.fields}
+    # b is 8-aligned, so 4 bytes of padding follow a.
+    assert offsets == {"a": 0, "b": 8, "c": 16}
+    assert struct.size == 24  # trailing pad to 8-byte struct alignment
+
+
+def test_parse_real_kernel_exports_all_bound_symbols():
+    source = abi.KERNEL_SOURCE_PATH.read_text(encoding="utf-8")
+    names = {fn.name for fn in abi.parse_c_exports(source)}
+    assert {
+        "fused_expand",
+        "fused_expand_lanes",
+        "whole_level_step",
+        "build_hitting_dag",
+        "extract_closure",
+        "extract_graph",
+    } <= names
+
+
+# ---------------------------------------------------------------------------
+# The cross-check: clean on the real repo, loud on drift
+# ---------------------------------------------------------------------------
+def test_abi_check_clean_on_real_sources():
+    report = abi.run_abi_check()
+    assert report.ok, "\n".join(str(f) for f in report.findings)
+    assert report.functions_checked >= 6
+    assert report.sections_checked >= 4
+
+
+def test_abi_check_injected_swap_caught_as_type_mismatch():
+    report = abi.run_abi_check(inject="swap")
+    assert not report.ok
+    assert "RPRABI04" in report.codes()
+    assert any("fused_expand" in f.message for f in report.findings)
+
+
+def test_abi_check_rejects_unknown_injection():
+    with pytest.raises(ValueError):
+        abi.run_abi_check(inject="bogus")
+
+
+def test_abi_check_missing_binding_found():
+    kernel = "int64_t brand_new_symbol(int64_t x) {\n    return x;\n}\n"
+    native = abi.NATIVE_SOURCE_PATH.read_text(encoding="utf-8")
+    report = abi.run_abi_check(kernel_source=kernel, native_source=native)
+    assert "RPRABI01" in report.codes()
+
+
+def test_abi_check_arity_mismatch_found():
+    kernel = abi.KERNEL_SOURCE_PATH.read_text(encoding="utf-8")
+    # Drop one parameter from fused_expand's C prototype.
+    assert "int64_t* n_dups)" in kernel
+    drifted = kernel.replace(
+        "int64_t* n_dups)", "int64_t* n_dups, int64_t extra)", 1
+    )
+    native = abi.NATIVE_SOURCE_PATH.read_text(encoding="utf-8")
+    report = abi.run_abi_check(kernel_source=drifted, native_source=native)
+    assert "RPRABI03" in report.codes()
+
+
+def test_abi_check_restype_mismatch_found():
+    kernel = abi.KERNEL_SOURCE_PATH.read_text(encoding="utf-8")
+    drifted = kernel.replace(
+        "int64_t fused_expand(", "int32_t fused_expand(", 1
+    )
+    native = abi.NATIVE_SOURCE_PATH.read_text(encoding="utf-8")
+    report = abi.run_abi_check(kernel_source=drifted, native_source=native)
+    assert "RPRABI05" in report.codes()
+
+
+# ---------------------------------------------------------------------------
+# Store header contract
+# ---------------------------------------------------------------------------
+def test_store_contract_sections_match_kernel_views():
+    from repro.graph import store
+
+    dtypes = dict(store.SECTION_DTYPES)
+    for section, (kind, bits) in abi.KERNEL_VIEW_CONTRACT.items():
+        assert section in dtypes, section
+        import numpy as np
+
+        dtype = np.dtype(dtypes[section])
+        assert dtype.kind == {"int": "i", "uint": "u"}[kind], section
+        assert dtype.itemsize * 8 == bits, section
+
+
+def test_store_contract_violation_detected(monkeypatch):
+    from repro.graph import store
+
+    drifted = tuple(
+        (name, "<i4" if name == "adj_indptr" else dtype)
+        for name, dtype in store.SECTION_DTYPES
+    )
+    monkeypatch.setattr(store, "SECTION_DTYPES", drifted)
+    findings = []
+    abi._check_store_contract(findings)
+    assert any(f.code == "RPRABI07" for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# Smoke fixture bindings ride the same contract
+# ---------------------------------------------------------------------------
+def test_smoke_bindings_covered_by_abi_check():
+    from repro.analysis import sanitize
+
+    source = abi.SMOKE_SOURCE_PATH.read_text(encoding="utf-8")
+    names = {fn.name for fn in abi.parse_c_exports(source)}
+    assert names == set(sanitize.SMOKE_BINDINGS)
+
+
+def test_ctypes_object_conversion_handles_platform_aliases():
+    import ctypes
+
+    assert str(abi._ctypes_object_to_ctype(ctypes.c_int64)) == "int64"
+    assert str(abi._ctypes_object_to_ctype(ctypes.c_uint8)) == "uint8"
+    assert str(abi._ctypes_object_to_ctype(ctypes.c_void_p)) == "void*"
+    assert str(abi._ctypes_object_to_ctype(None)) == "void"

@@ -2,8 +2,13 @@
 
 Covers the shadow-memory invariant checker (CheckedBackend + WriteLog),
 its self-validation against deliberately faulty backends, the
-repo-specific AST lint rules, the sanitizer wiring, and the CLI exit
-codes the CI ``check`` job relies on.
+repo-specific AST lint rules (including the store-write rule RPR010,
+the binding-set rule RPR011, and exact-id noqa matching), the
+ASan/UBSan and TSan sanitizer wiring with its suppression policy, and
+the CLI exit codes the CI ``check`` job relies on. The ABI verifier and
+schedule explorer have dedicated files (``test_abi.py``,
+``test_schedules.py``); their ``--inject`` CLI contracts are pinned
+here alongside the other injection classes.
 """
 
 import textwrap
@@ -442,6 +447,116 @@ def test_noqa_suppresses_specific_rule():
     assert not suppressed
 
 
+def test_noqa_exact_id_matching_regression():
+    """A short id must never suppress a longer id it prefixes, and vice
+    versa (regression for substring-style matching)."""
+    from repro.analysis.lint import LintViolation, _split_suppressed
+
+    long_id = [LintViolation("p", 1, 0, "RPR0010", "m")]
+    active, suppressed = _split_suppressed(long_id, "x = 1  # noqa: RPR001\n")
+    assert [v.rule for v in active] == ["RPR0010"]
+    assert not suppressed
+
+    short_id = [LintViolation("p", 1, 0, "RPR001", "m")]
+    active, suppressed = _split_suppressed(short_id, "x = 1  # noqa: RPR0010\n")
+    assert [v.rule for v in active] == ["RPR001"]
+    assert not suppressed
+
+    # Exact ids still suppress, in comma- and space-separated lists.
+    active, suppressed = _split_suppressed(
+        long_id, "x = 1  # noqa: RPR001, RPR0010\n"
+    )
+    assert not active and [v.rule for v in suppressed] == ["RPR0010"]
+
+
+def test_rpr010_store_backed_writes_flagged():
+    source = """
+        import numpy as np
+        from repro.graph.store import open_worker_arrays
+
+        arr = np.memmap("x.bin", dtype="int64", mode="r")
+        indptr, indices = open_worker_arrays("g.csrstore")
+
+        def corrupt():
+            arr[0] = 5
+            indices[3] += 1
+            arr.setflags(write=True)
+            return np.memmap("y.bin", dtype="int64", mode="r+")
+        """
+    violations, _ = lint_source(
+        textwrap.dedent(source), relative_to_package="parallel/foo.py"
+    )
+    assert [v.rule for v in violations] == ["RPR010"] * 4
+
+
+def test_rpr010_silent_in_store_writer_scope_and_for_reads():
+    source = """
+        import numpy as np
+
+        mapped = np.memmap("x.bin", dtype="int64", mode="r+")
+        mapped[0] = 1
+        mapped.setflags(write=True)
+        """
+    violations, _ = lint_source(
+        textwrap.dedent(source), relative_to_package="graph/store.py"
+    )
+    assert not violations
+    reads = """
+        import numpy as np
+
+        arr = np.memmap("x.bin", dtype="int64", mode="r")
+        total = arr.sum() + arr[0]
+        other = np.zeros(4)
+        other[0] = 1
+        """
+    violations, _ = lint_source(
+        textwrap.dedent(reads), relative_to_package="parallel/foo.py"
+    )
+    assert not violations
+
+
+def test_rpr011_kernel_binding_set_equality():
+    from repro.analysis.lint import kernel_binding_violations
+
+    # The real repo is in sync.
+    assert kernel_binding_violations() == []
+    # Export without a binding.
+    drift = kernel_binding_violations(
+        kernel_source="int64_t new_symbol(int64_t x) {\n",
+        native_source="",
+    )
+    assert [v.rule for v in drift] == ["RPR011"]
+    assert "new_symbol" in drift[0].message
+    # Binding without an export.
+    drift = kernel_binding_violations(
+        kernel_source="", native_source="fn = library.ghost_symbol\n"
+    )
+    assert [v.rule for v in drift] == ["RPR011"]
+    assert "ghost_symbol" in drift[0].message
+
+
+def test_run_lint_allowlist_waives_rules_into_allowed(tmp_path):
+    module = tmp_path / "helper.py"
+    module.write_text("def f(acc=[]):\n    return acc\n", encoding="utf-8")
+    strict = run_lint(tmp_path)
+    assert [v.rule for v in strict.violations] == ["RPR007"]
+    waived = run_lint(tmp_path, allow=("RPR007",))
+    assert not waived.violations
+    assert [v.rule for v in waived.allowed] == ["RPR007"]
+
+
+def test_repo_test_and_benchmark_trees_lint_clean():
+    from pathlib import Path
+
+    from repro.analysis.check import LINT_TREES, _repo_root
+
+    for tree, allow in LINT_TREES:
+        tree_path = _repo_root() / tree
+        assert tree_path.is_dir(), tree
+        report = run_lint(Path(tree_path), allow=allow)
+        assert report.ok, "\n".join(str(v) for v in report.violations)
+
+
 def test_hot_path_marker_is_inert():
     from repro.instrumentation import hot_path
     from repro.parallel.vectorized import fused_expand_chunk, pull_expand
@@ -512,6 +627,107 @@ def test_sanitized_smoke_clean():
 
 
 # ---------------------------------------------------------------------------
+# TSan race tier (suppression policy is checked untoolchained; the
+# harness runs are gated — the dedicated CI job exercises them)
+# ---------------------------------------------------------------------------
+def test_thread_sanitizer_selection_and_flags():
+    from repro.parallel._native import sanitize_cflags, sanitize_selection
+
+    assert sanitize_selection("thread") == ("thread",)
+    flags = sanitize_cflags(("thread",))
+    assert "-fsanitize=thread" in flags
+    assert "-pthread" in flags
+    with pytest.raises(ValueError):
+        sanitize_selection("address,thread")
+
+
+def test_tsan_suppression_audit_clean_and_policy_enforced(monkeypatch):
+    from repro.analysis import sanitize
+
+    assert sanitize.audit_suppressions() == []
+    # Every entry maps to a declared idempotent write site by name.
+    sites = sanitize.declared_idempotent_sites()
+    assert "fused_expand" in sites and "fused_expand_lanes" in sites
+
+    # A blanket suppression violates the policy.
+    monkeypatch.setattr(
+        sanitize,
+        "THEOREM_V2_SUPPRESSIONS",
+        (("race:*", "Theorem V.2 idempotent blanket"),),
+    )
+    assert any(
+        "banned" in problem for problem in sanitize.audit_suppressions()
+    )
+    # A suppression naming a non-exported symbol violates the policy.
+    monkeypatch.setattr(
+        sanitize,
+        "THEOREM_V2_SUPPRESSIONS",
+        (("race:not_a_kernel_symbol", "Theorem V.2 idempotent store"),),
+    )
+    assert any(
+        "not an" in problem for problem in sanitize.audit_suppressions()
+    )
+    # A suppression without the Theorem V.2 citation violates the policy.
+    monkeypatch.setattr(
+        sanitize,
+        "THEOREM_V2_SUPPRESSIONS",
+        (("race:fused_expand", "just trust me"),),
+    )
+    assert any(
+        "cite" in problem for problem in sanitize.audit_suppressions()
+    )
+
+
+def test_tsan_suppression_file_written_from_declaration(tmp_path):
+    from repro.analysis import sanitize
+
+    path = sanitize.write_suppressions(tmp_path / "supp.txt")
+    text = path.read_text(encoding="utf-8")
+    for entry, citation in sanitize.THEOREM_V2_SUPPRESSIONS:
+        assert entry in text
+        assert citation.splitlines()[0] in text
+
+
+def test_tsan_parity_fuzz_clean():
+    from repro.analysis import sanitize
+
+    if not sanitize.toolchain_available(sanitize.THREAD_SELECTION):
+        pytest.skip("TSan toolchain unavailable")
+    result = sanitize.run_tsan_parity(seeds=(0,), n_threads=4, repeats=2)
+    assert result.ok, result.detail
+    assert not result.skipped
+    assert "0 unsuppressed races" in result.detail
+
+
+def test_tsan_inject_reported():
+    from repro.analysis import sanitize
+
+    if not sanitize.toolchain_available(sanitize.THREAD_SELECTION):
+        pytest.skip("TSan toolchain unavailable")
+    result = sanitize.run_tsan_inject()
+    assert result.ok, result.detail
+    assert result.sanitizer_report
+
+
+def test_tsan_oracle_matches_sequential_backend_semantics():
+    """The harness oracle is an independent replica of the level loop —
+    pin its behavior on a case the Python tiers also agree on."""
+    from repro.analysis import sanitize
+
+    indptr, indices, matrix, fid = sanitize._tsan_fixture(3, n=120, q=4)
+    got_matrix, got_fid, levels = sanitize._tsan_oracle(
+        indptr, indices, matrix, fid, level_cap=32
+    )
+    assert levels > 0
+    # Idempotent BFS: every finite cell holds the first-reach level, so
+    # re-running from the result is a fixed point.
+    again_matrix, _, _ = sanitize._tsan_oracle(
+        indptr, indices, got_matrix, got_fid, level_cap=32
+    )
+    assert np.array_equal(again_matrix, got_matrix)
+
+
+# ---------------------------------------------------------------------------
 # `repro check` exit codes (the acceptance contract)
 # ---------------------------------------------------------------------------
 def test_run_check_clean_codebase_exits_zero():
@@ -535,6 +751,24 @@ def test_cli_check_inject_race_exits_one(capsys):
     assert "caught" in out
 
 
+def test_cli_check_inject_abi_exits_one(capsys):
+    from repro.cli import main
+
+    assert main(["check", "--inject", "abi"]) == 1
+    out = capsys.readouterr().out
+    assert "RPRABI" in out
+    assert "caught" in out
+
+
+def test_cli_check_inject_schedule_exits_one(capsys):
+    from repro.cli import main
+
+    assert main(["check", "--inject", "schedule"]) == 1
+    out = capsys.readouterr().out
+    assert "schedule-divergence" in out
+    assert "caught" in out
+
+
 def test_cli_check_inject_sanitizer_exits_one():
     from repro.analysis import sanitize
     from repro.cli import main
@@ -549,5 +783,5 @@ def test_cli_check_list_rules(capsys):
 
     assert main(["check", "--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule in ("RPR001", "RPR008"):
+    for rule in ("RPR001", "RPR008", "RPR010", "RPR011"):
         assert rule in out

@@ -1,0 +1,186 @@
+"""Tests for the schedule-exploration checker (``repro.analysis.schedules``).
+
+The explorer's claim: for the real fused kernel, the final search state
+is bitwise independent of the order racing chunks execute in (Theorem
+V.2), and an order-*dependent* protocol bug — invisible to per-level
+invariants — is caught by cross-schedule comparison.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.schedules import (
+    AlternatingSchedule,
+    ExplicitSchedule,
+    IdentitySchedule,
+    InterleavedSchedule,
+    ReversedSchedule,
+    SeededSchedule,
+    VirtualScheduleBackend,
+    explore_schedules,
+    order_dependent_runner,
+    run_schedule_check,
+)
+from repro.core.bottom_up import BottomUpSearch
+from repro.graph.generators import WikiKBConfig, wiki_like_kb
+from repro.parallel import SequentialBackend, ThreadPoolBackend
+
+
+def _case(seed=5):
+    config = WikiKBConfig(
+        name=f"schedtest-{seed}",
+        seed=seed,
+        n_papers=40,
+        n_people=20,
+        n_misc=20,
+        n_venues=4,
+        n_orgs=4,
+    )
+    graph, _ = wiki_like_kb(config)
+    rng = np.random.default_rng(seed * 17 + 3)
+    n = graph.n_nodes
+    q = 3
+    sets = [
+        np.unique(rng.integers(0, n, size=int(rng.integers(1, 5))))
+        for _ in range(q)
+    ]
+    activation = np.zeros(n, dtype=np.int32)
+    return graph, sets, activation, 4
+
+
+def _run(backend, case):
+    graph, sets, activation, k = case
+    with backend:
+        return BottomUpSearch(graph, backend=backend).run(sets, activation, k)
+
+
+# ---------------------------------------------------------------------------
+# Schedule primitives
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "schedule",
+    [
+        IdentitySchedule(),
+        ReversedSchedule(),
+        InterleavedSchedule(),
+        AlternatingSchedule(),
+        SeededSchedule(3),
+    ],
+)
+@pytest.mark.parametrize("n_chunks", [1, 2, 3, 5, 8])
+def test_schedules_emit_permutations(schedule, n_chunks):
+    for level in range(3):
+        order = list(schedule.order(level, n_chunks))
+        assert sorted(order) == list(range(n_chunks)), (
+            schedule.name,
+            level,
+        )
+
+
+def test_seeded_schedule_is_deterministic():
+    a = SeededSchedule(9)
+    b = SeededSchedule(9)
+    assert [list(a.order(lv, 6)) for lv in range(4)] == [
+        list(b.order(lv, 6)) for lv in range(4)
+    ]
+    c = SeededSchedule(10)
+    assert any(
+        list(a.order(lv, 6)) != list(c.order(lv, 6)) for lv in range(4)
+    )
+
+
+def test_explicit_schedule_replays_table_and_falls_back():
+    schedule = ExplicitSchedule([[1, 0], [0, 1]])
+    assert list(schedule.order(0, 2)) == [1, 0]
+    assert list(schedule.order(1, 2)) == [0, 1]
+    # Beyond the table, or on a chunk-count drift: identity.
+    assert list(schedule.order(2, 3)) == [0, 1, 2]
+    assert list(schedule.order(0, 3)) == [0, 1, 2]
+
+
+def test_virtual_backend_rejects_non_permutation():
+    class Broken(IdentitySchedule):
+        def order(self, level, n_chunks):
+            return [0] * n_chunks
+
+    backend = VirtualScheduleBackend(Broken(), n_threads=2)
+    with pytest.raises(ValueError, match="not a permutation"):
+        _run(backend, _case())
+
+
+# ---------------------------------------------------------------------------
+# Clean kernel: every schedule is bitwise identical
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "schedule",
+    [ReversedSchedule(), InterleavedSchedule(), SeededSchedule(11)],
+)
+def test_virtual_replay_matches_sequential_and_pool(schedule):
+    case = _case()
+    reference = _run(SequentialBackend(), case)
+    pool = _run(ThreadPoolBackend(n_threads=4), case)
+    virtual = _run(
+        VirtualScheduleBackend(schedule, n_threads=4, chunks_per_thread=4),
+        case,
+    )
+    for result in (pool, virtual):
+        assert np.array_equal(result.state.matrix, reference.state.matrix)
+        assert sorted(result.central_nodes) == sorted(
+            reference.central_nodes
+        )
+
+
+def test_explore_schedules_clean_on_real_kernel():
+    report = explore_schedules(seed=0)
+    assert report.clean, [str(f) for f in report.findings]
+    assert report.schedules_run >= 4
+    assert report.levels_replayed > 0
+
+
+def test_explore_schedules_exhaustive_on_tiny_space():
+    report = explore_schedules(
+        seed=0, n_threads=2, chunks_per_thread=1, budget=48
+    )
+    assert report.exhaustive
+    assert report.space_size is not None and report.space_size <= 48
+    # Exhaustive = every per-level permutation combination ran.
+    assert report.schedules_run == report.space_size
+    assert report.clean, [str(f) for f in report.findings]
+
+
+def test_run_schedule_check_clean_and_deterministic():
+    first = run_schedule_check(seeds=(0,))
+    second = run_schedule_check(seeds=(0,))
+    assert first.clean and second.clean
+    assert first.schedules_run == second.schedules_run
+    assert first.levels_replayed == second.levels_replayed
+    assert first.exhaustive  # the coarse tier must be enumerable
+
+
+# ---------------------------------------------------------------------------
+# Seeded order-dependent fault: caught by divergence, not by invariants
+# ---------------------------------------------------------------------------
+def test_injected_order_dependence_detected():
+    report = run_schedule_check(seeds=(0, 1), inject=True)
+    assert not report.clean
+    assert "schedule-divergence" in {f.code for f in report.findings}
+
+
+def test_injected_fault_invisible_to_per_level_invariants():
+    """The fault the explorer exists for: CheckedBackend alone stays
+    green because a reverted never-reported write breaks no per-level
+    invariant — only cross-schedule result comparison sees it."""
+    from repro.analysis import CheckedBackend
+
+    case = _case()
+    backend = VirtualScheduleBackend(
+        ReversedSchedule(),
+        n_threads=2,
+        chunks_per_thread=2,
+        runner=order_dependent_runner,
+    )
+    checked = CheckedBackend(backend, raise_on_violation=False)
+    result = _run(checked, case)
+    assert not checked.violations
+    reference = _run(SequentialBackend(), case)
+    assert not np.array_equal(result.state.matrix, reference.state.matrix)
