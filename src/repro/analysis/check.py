@@ -60,7 +60,7 @@ INJECT_CLASSES = ("lint", "abi", "race", "schedule", "sanitizer")
 #: — fixtures built once per call are the idiom there; benchmarks get no
 #: waivers (they feed the figures, so the full discipline applies).
 LINT_TREES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
-    ("tests", ("RPR007",)),
+    ("tests", ("RPR007", "RPR012")),
     ("benchmarks", ()),
 )
 
@@ -79,6 +79,9 @@ def bad_kernel(graph, chunk, q):
         with lock:
             pass
     return indices
+
+def bad_metrics(registry, field):
+    registry.counter(f"repro_{field}_total", "oops").inc()
 '''
 
 
@@ -330,7 +333,7 @@ def run_check(
 
     failures = 0
 
-    emit("[1/6] repo-specific lint (RPR001-RPR011; src, tests, benchmarks)")
+    emit("[1/6] repo-specific lint (RPR001-RPR012; src, tests, benchmarks)")
     failures += run_lint_stage(emit)
 
     emit("[2/6] kernel ABI contracts (C prototypes vs ctypes vs .csrstore)")
@@ -381,7 +384,7 @@ def _run_injection(inject: str, emit: PrintFn) -> int:
         for violation in violations:
             emit(f"  {violation}")
         rules = {violation.rule for violation in violations}
-        expected = {"RPR001", "RPR002", "RPR003"}
+        expected = {"RPR001", "RPR002", "RPR003", "RPR012"}
         if expected <= rules:
             emit(f"caught: seeded rules {sorted(expected)} all fired")
             return 1

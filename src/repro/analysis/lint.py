@@ -52,6 +52,12 @@ RPR011    Every exported ``_kernel.c`` symbol must have a matching
           regex precursor to the full ABI pass
           (:mod:`repro.analysis.abi`), so plain ``run_lint`` still
           flags binding drift when no compiler is present.
+RPR012    Metric names handed to ``MetricsRegistry.counter`` /
+          ``.gauge`` / ``.histogram`` must be module-level constants:
+          no inline string literals and especially no f-strings. An
+          inline name defeats ``grep`` from a dashboard back to the
+          emitter, and an f-string additionally pays per-request
+          string formatting on the service hot path.
 ========  ==============================================================
 
 Suppression: append ``# noqa: RPR00x`` (with a justification comment)
@@ -83,6 +89,7 @@ RULES = {
     "RPR009": "copy of a CSR base array inside @hot_path kernel code",
     "RPR010": "write to a store-backed memmap array outside StoreWriter/builder",
     "RPR011": "exported kernel symbol and ctypes binding sets differ",
+    "RPR012": "inline metric name in a registry call; use a module-level constant",
 }
 
 _ENV_LITERAL = re.compile(r"REPRO_[A-Z][A-Z0-9_]*\Z")
@@ -130,6 +137,19 @@ _MEMMAP_SOURCES = {"memmap", "open_worker_arrays"}
 
 #: ``np.memmap`` modes that produce a writable mapping.
 _WRITABLE_MMAP_MODES = {"r+", "w+", "readwrite", "write"}
+
+#: ``MetricsRegistry`` factory methods whose first argument is a metric
+#: name (RPR012 requires it to be a module-level constant).
+_METRIC_FACTORY_METHODS = {"counter", "gauge", "histogram"}
+
+#: Receiver terminal names treated as a metrics registry for RPR012
+#: (``self.registry.counter(...)``, ``_DEFAULT_REGISTRY.gauge(...)``).
+_REGISTRY_RECEIVER_NAMES = {
+    "registry",
+    "_registry",
+    "_DEFAULT_REGISTRY",
+    "_REGISTRY",
+}
 
 
 @dataclass(frozen=True)
@@ -468,6 +488,36 @@ class _FileLinter(ast.NodeVisitor):
                     "stacks, so parentage must be handed over",
                 )
         if (
+            isinstance(node.func, ast.Attribute)
+            and name in _METRIC_FACTORY_METHODS
+            and self._is_registry_receiver(node.func.value)
+        ):
+            metric_arg: Optional[ast.expr] = None
+            if node.args:
+                metric_arg = node.args[0]
+            else:
+                for keyword in node.keywords:
+                    if keyword.arg == "name":
+                        metric_arg = keyword.value
+                        break
+            if isinstance(metric_arg, ast.JoinedStr) or (
+                isinstance(metric_arg, ast.Constant)
+                and isinstance(metric_arg.value, str)
+            ):
+                kind = (
+                    "an f-string"
+                    if isinstance(metric_arg, ast.JoinedStr)
+                    else "an inline string literal"
+                )
+                self._emit(
+                    metric_arg,
+                    "RPR012",
+                    f"metric name passed to .{name}() as {kind}; "
+                    "reference a module-level constant so names stay "
+                    "greppable and no per-call formatting runs on the "
+                    "request path",
+                )
+        if (
             self.figure_scope
             and isinstance(node.func, ast.Attribute)
             and node.func.attr == "time"
@@ -481,6 +531,23 @@ class _FileLinter(ast.NodeVisitor):
                 "must use the monotonic time.perf_counter()",
             )
         self.generic_visit(node)
+
+    @staticmethod
+    def _is_registry_receiver(receiver: ast.expr) -> bool:
+        """True when ``receiver`` looks like a metrics registry.
+
+        Matches direct calls on ``get_registry()`` and any name/attribute
+        chain ending in a registry-conventional identifier
+        (``self.registry``, ``_DEFAULT_REGISTRY``); other receivers named
+        ``counter``/``gauge``/``histogram`` methods stay out of scope so
+        unrelated APIs are not misflagged.
+        """
+        if (
+            isinstance(receiver, ast.Call)
+            and _terminal_name(receiver.func) == "get_registry"
+        ):
+            return True
+        return _terminal_name(receiver) in _REGISTRY_RECEIVER_NAMES
 
     @staticmethod
     def _csr_base_operand(node: ast.Call, name: str) -> Optional[str]:

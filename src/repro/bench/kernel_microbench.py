@@ -599,11 +599,17 @@ def measure_obs_overhead(
     the ratio; the test suite asserts it stays within measurement noise
     (the acceptance criterion for the kill-switch).
 
+    The always-on flight-recorder path (a per-query owned tracer plus
+    one ring commit, the serving default) is measured alongside so CI
+    can watch its cost too.
+
     Returns:
-        ``{"plain_ms", "disabled_ms", "ratio"}`` — best-of-``repeats``
-        total milliseconds and disabled/plain.
+        ``{"plain_ms", "disabled_ms", "ratio", "flight_ms",
+        "flight_ratio"}`` — best-of-``repeats`` total milliseconds,
+        disabled/plain, and flight-recorded/plain.
     """
     from ..eval.queries import KeywordWorkload
+    from ..obs.flight import FlightRecorder
     from ..obs.tracing import Tracer
 
     if dataset is None:
@@ -611,7 +617,9 @@ def measure_obs_overhead(
     workload = KeywordWorkload(dataset.index, seed=seed)
     queries = workload.sample_queries(knum, n_queries)
 
-    def best_of(tracer: "Optional[Tracer]") -> float:
+    def best_of(
+        tracer: "Optional[Tracer]", flight: "Optional[FlightRecorder]" = None
+    ) -> float:
         engine = KeywordSearchEngine(
             dataset.graph,
             backend=VectorizedBackend(),
@@ -621,6 +629,7 @@ def measure_obs_overhead(
             config=EngineConfig(topk=topk),
             tracer=tracer,
         )
+        engine.flight = flight
         best = float("inf")
         for _ in range(repeats):
             elapsed = 0.0
@@ -631,10 +640,13 @@ def measure_obs_overhead(
 
     plain = best_of(None)
     disabled = best_of(Tracer(enabled=False))
+    flight = best_of(None, FlightRecorder(max_records=128, slow_ms=0))
     return {
         "plain_ms": plain * 1e3,
         "disabled_ms": disabled * 1e3,
         "ratio": disabled / plain if plain > 0 else 1.0,
+        "flight_ms": flight * 1e3,
+        "flight_ratio": flight / plain if plain > 0 else 1.0,
     }
 
 

@@ -1,0 +1,289 @@
+"""Load generation for the in-process search service.
+
+The paper's latency claims are single-query wall-clock curves; a
+*service* claim needs arrivals. This module drives
+:class:`~repro.service.SearchService` (no sockets — straight into
+``handle_path``, so the numbers measure the engine and dispatch, not
+the loopback stack) under the two classic load models:
+
+* **closed loop** (:func:`run_closed_loop`) — N clients, each issuing
+  its next query the moment the previous answer returns. Throughput is
+  demand-bound; this is the concurrency-sweep mode behind the
+  sustained-QPS-at-SLO headline.
+* **open loop** (:func:`run_open_loop`) — Poisson arrivals at a target
+  rate, dispatched regardless of completions, the model that exposes
+  queueing delay a closed loop hides (cf. coordinated omission).
+
+Query popularity follows a zipf law over a pool sampled from the
+indexed vocabulary (:class:`ZipfSampler` over
+:class:`~repro.eval.queries.KeywordWorkload`), so cache-friendly
+head queries and long-tail misses coexist the way production keyword
+traffic does — the skew that makes WawPart-style workload-aware
+partitioning worth measuring (PAPERS.md).
+
+Latency quantiles are *not* re-measured here: they come from the
+service's own :class:`~repro.obs.metrics.MetricsRegistry` histogram
+(``repro_http_request_seconds{endpoint="/search"}``), so the bench
+reports exactly what ``GET /metrics`` exports. Runs therefore want a
+fresh registry per measurement (:mod:`repro.bench.service_bench` does
+this per sweep point).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+from urllib.parse import quote
+
+import numpy as np
+
+from ..eval.queries import KeywordWorkload
+from ..service import METRIC_HTTP_REQUEST_SECONDS, SearchService
+from ..text.inverted_index import InvertedIndex
+
+__all__ = [
+    "LoadResult",
+    "ZipfSampler",
+    "build_workload",
+    "run_closed_loop",
+    "run_open_loop",
+]
+
+
+class ZipfSampler:
+    """Zipf-skewed sampling over a fixed query pool.
+
+    Item ``i`` (0-based rank) is drawn with probability proportional to
+    ``1 / (i + 1) ** s`` — the standard web-workload popularity model.
+
+    Args:
+        items: the query pool, most popular first.
+        s: the zipf exponent (1.0–1.2 matches measured search traffic;
+            0 degenerates to uniform).
+        seed: RNG seed; sampling is deterministic per seed.
+    """
+
+    def __init__(
+        self, items: Sequence[str], s: float = 1.1, seed: int = 0
+    ) -> None:
+        if not items:
+            raise ValueError("ZipfSampler needs a non-empty query pool")
+        if s < 0:
+            raise ValueError("zipf exponent must be non-negative")
+        self.items: List[str] = list(items)
+        self.s = float(s)
+        self.seed = int(seed)
+        ranks = np.arange(1, len(self.items) + 1, dtype=np.float64)
+        weights = ranks ** -self.s
+        self._p = weights / weights.sum()
+        self._rng = np.random.default_rng(seed)
+
+    def spawn(self, seed: int) -> "ZipfSampler":
+        """An independent sampler over the same pool (one per client
+        thread — NumPy generators are not thread-safe)."""
+        return ZipfSampler(self.items, s=self.s, seed=seed)
+
+    def sample(self) -> str:
+        return self.items[int(self._rng.choice(len(self.items), p=self._p))]
+
+    def sample_many(self, n: int) -> List[str]:
+        indices = self._rng.choice(len(self.items), size=n, p=self._p)
+        return [self.items[int(index)] for index in indices]
+
+    def probabilities(self) -> np.ndarray:
+        """The rank → probability vector (tests assert the skew)."""
+        return self._p.copy()
+
+
+def build_workload(
+    index: InvertedIndex,
+    knum: int = 3,
+    pool_size: int = 64,
+    zipf_s: float = 1.1,
+    seed: int = 0,
+) -> ZipfSampler:
+    """A zipf sampler over ``pool_size`` queries from the indexed
+    vocabulary (each ``knum`` co-occurring keywords, via
+    :class:`~repro.eval.queries.KeywordWorkload`)."""
+    workload = KeywordWorkload(index, seed=seed)
+    queries = workload.sample_queries(knum, pool_size)
+    return ZipfSampler(queries, s=zipf_s, seed=seed)
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one load run.
+
+    Attributes:
+        mode: ``"closed"`` or ``"open"``.
+        duration_s: measured wall time of the run.
+        n_requests: requests completed (closed) / offered (open — every
+            offered arrival is also completed before return).
+        n_errors: responses with status >= 400.
+        achieved_qps: completed requests / duration.
+        offered_qps: the target arrival rate (open loop only).
+        concurrency: client threads (closed) / executor width (open).
+        status_counts: HTTP status → count over all requests.
+        latency_seconds: the ``/search`` latency histogram summary from
+            the service registry (count/sum/mean/p50/p95/p99), in
+            seconds — the same numbers ``GET /metrics`` exports.
+    """
+
+    mode: str
+    duration_s: float
+    n_requests: int
+    n_errors: int
+    achieved_qps: float
+    concurrency: int
+    offered_qps: Optional[float] = None
+    status_counts: Dict[int, int] = field(default_factory=dict)
+    latency_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def error_rate(self) -> float:
+        return self.n_errors / self.n_requests if self.n_requests else 0.0
+
+    def latency_ms(self) -> Dict[str, float]:
+        """p50/p95/p99/mean in milliseconds (the report unit)."""
+        return {
+            key: self.latency_seconds.get(key, 0.0) * 1e3
+            for key in ("mean", "p50", "p95", "p99")
+        }
+
+
+def _search_path(query: str, k: int) -> str:
+    return f"/search?q={quote(query)}&k={k}"
+
+
+def _search_latency_summary(service: SearchService) -> Dict[str, float]:
+    return service.registry.histogram(
+        METRIC_HTTP_REQUEST_SECONDS, "HTTP request latency",
+        endpoint="/search",
+    ).summary()
+
+
+def run_closed_loop(
+    service: SearchService,
+    sampler: ZipfSampler,
+    duration_s: float = 5.0,
+    concurrency: int = 4,
+    k: int = 5,
+    seed: int = 0,
+) -> LoadResult:
+    """``concurrency`` clients in think-time-free closed loop for
+    ``duration_s`` seconds; every client issues its next query as soon
+    as the previous response lands."""
+    if concurrency < 1:
+        raise ValueError("concurrency must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    status_counts: Dict[int, int] = {}
+    counts_lock = threading.Lock()
+    start = time.perf_counter()
+    deadline = start + duration_s
+
+    def client(client_index: int) -> None:
+        local_sampler = sampler.spawn(seed + 1000 * (client_index + 1))
+        local_counts: Dict[int, int] = {}
+        while time.perf_counter() < deadline:
+            path = _search_path(local_sampler.sample(), k)
+            status, _, _ = service.handle_path(path)
+            local_counts[status] = local_counts.get(status, 0) + 1
+        with counts_lock:
+            for status, count in local_counts.items():
+                status_counts[status] = status_counts.get(status, 0) + count
+
+    threads = [
+        threading.Thread(target=client, args=(index,), daemon=True)
+        for index in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    n_requests = sum(status_counts.values())
+    n_errors = sum(
+        count for status, count in status_counts.items() if status >= 400
+    )
+    return LoadResult(
+        mode="closed",
+        duration_s=elapsed,
+        n_requests=n_requests,
+        n_errors=n_errors,
+        achieved_qps=n_requests / elapsed if elapsed > 0 else 0.0,
+        concurrency=concurrency,
+        status_counts=status_counts,
+        latency_seconds=_search_latency_summary(service),
+    )
+
+
+def run_open_loop(
+    service: SearchService,
+    sampler: ZipfSampler,
+    duration_s: float = 5.0,
+    rate_qps: float = 10.0,
+    k: int = 5,
+    seed: int = 0,
+    max_concurrency: int = 64,
+) -> LoadResult:
+    """Poisson arrivals at ``rate_qps`` for ``duration_s`` seconds.
+
+    Arrival times are drawn up front from exponential inter-arrival
+    gaps; each arrival is dispatched at its scheduled instant whether or
+    not earlier requests finished (up to ``max_concurrency`` in flight —
+    beyond that, arrivals queue in the executor, which is exactly the
+    queueing delay an open-loop model is supposed to surface). The call
+    returns after every offered request completes.
+    """
+    if rate_qps <= 0:
+        raise ValueError("rate_qps must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    rng = np.random.default_rng(seed)
+    arrivals: List[float] = []
+    clock = 0.0
+    while True:
+        clock += float(rng.exponential(1.0 / rate_qps))
+        if clock >= duration_s:
+            break
+        arrivals.append(clock)
+    queries = sampler.spawn(seed + 1).sample_many(max(len(arrivals), 1))
+
+    status_counts: Dict[int, int] = {}
+    counts_lock = threading.Lock()
+
+    def fire(path: str) -> None:
+        status, _, _ = service.handle_path(path)
+        with counts_lock:
+            status_counts[status] = status_counts.get(status, 0) + 1
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=max_concurrency) as executor:
+        futures = []
+        for arrival, query in zip(arrivals, queries):
+            delay = start + arrival - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(executor.submit(fire, _search_path(query, k)))
+        for future in futures:
+            future.result()
+    elapsed = time.perf_counter() - start
+    n_requests = sum(status_counts.values())
+    n_errors = sum(
+        count for status, count in status_counts.items() if status >= 400
+    )
+    return LoadResult(
+        mode="open",
+        duration_s=elapsed,
+        n_requests=n_requests,
+        n_errors=n_errors,
+        achieved_qps=n_requests / elapsed if elapsed > 0 else 0.0,
+        concurrency=max_concurrency,
+        offered_qps=rate_qps,
+        status_counts=status_counts,
+        latency_seconds=_search_latency_summary(service),
+    )

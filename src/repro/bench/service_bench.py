@@ -1,0 +1,324 @@
+"""The service SLO benchmark: sustained QPS at a latency objective.
+
+ROADMAP item 2 promotes *sustained-QPS-at-SLO* to the serving-tier
+north-star number; this module produces it. A closed-loop concurrency
+sweep (:func:`repro.bench.loadgen.run_closed_loop`) drives an in-process
+:class:`~repro.service.SearchService` over a zipf workload; a sweep
+point *meets the SLO* when its latency percentile (p95 by default, from
+the service's own ``MetricsRegistry`` histogram) stays at or under the
+objective and its error rate at or under 1%. The headline is the
+highest achieved throughput among SLO-meeting points. An optional
+open-loop (Poisson) run at 80% of that headline then checks the number
+survives arrival bursts instead of lock-step clients.
+
+``BENCH_service.json`` (:data:`SCHEMA_VERSION`) is the machine-readable
+artifact; the CI smoke job validates it with
+:func:`validate_service_payload`. The per-phase latency breakdown comes
+from the query flight recorder (:mod:`repro.obs.flight`) — mean
+milliseconds per engine phase over the recorded queries — so the
+benchmark and ``GET /debug/queries`` agree about where time goes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..core.engine import KeywordSearchEngine
+from ..obs.flight import FlightRecorder
+from ..obs.metrics import MetricsRegistry
+from ..service import SearchService
+from .datasets import BenchDataset, build_dataset
+from .kernel_microbench import _SCALE_CONFIGS
+from .loadgen import LoadResult, build_workload, run_closed_loop, run_open_loop
+
+SCHEMA_VERSION = "repro.bench_service/v1"
+
+#: Error-rate ceiling baked into the SLO (1%).
+MAX_ERROR_RATE = 0.01
+
+#: Fraction of the sustained closed-loop headline offered to the
+#: confirming open-loop run.
+OPEN_LOOP_FRACTION = 0.8
+
+_REQUIRED_KEYS = (
+    "schema",
+    "dataset",
+    "workload",
+    "slo",
+    "closed_loop",
+    "open_loop",
+    "headline",
+    "phase_breakdown_ms",
+    "generated_unix",
+)
+_ROW_KEYS = (
+    "mode",
+    "concurrency",
+    "duration_s",
+    "n_requests",
+    "n_errors",
+    "error_rate",
+    "achieved_qps",
+    "latency_ms",
+    "meets_slo",
+)
+_LATENCY_KEYS = ("mean", "p50", "p95", "p99")
+_PERCENTILES = ("p50", "p95", "p99")
+
+
+def _row(result: LoadResult, slo_ms: float, percentile: str) -> Dict[str, object]:
+    latency_ms = result.latency_ms()
+    meets = (
+        latency_ms[percentile] <= slo_ms
+        and result.error_rate <= MAX_ERROR_RATE
+    )
+    row: Dict[str, object] = {
+        "mode": result.mode,
+        "concurrency": result.concurrency,
+        "duration_s": result.duration_s,
+        "n_requests": result.n_requests,
+        "n_errors": result.n_errors,
+        "error_rate": result.error_rate,
+        "achieved_qps": result.achieved_qps,
+        "latency_ms": latency_ms,
+        "meets_slo": meets,
+    }
+    if result.offered_qps is not None:
+        row["offered_qps"] = result.offered_qps
+    return row
+
+
+def run_service_bench(
+    scale: str = "tiny",
+    dataset: Optional[BenchDataset] = None,
+    duration_s: float = 5.0,
+    concurrency_sweep: Sequence[int] = (1, 2, 4),
+    knum: int = 3,
+    pool_size: int = 64,
+    zipf_s: float = 1.1,
+    seed: int = 0,
+    k: int = 5,
+    slo_ms: float = 500.0,
+    slo_percentile: str = "p95",
+    open_loop: bool = True,
+    backend_factory: "Optional[object]" = None,
+) -> Dict[str, object]:
+    """Run the SLO sweep; returns the ``BENCH_service.json`` payload.
+
+    Args:
+        scale: dataset scale name (``tiny`` / ``wiki2017`` / ``wiki2018``),
+            ignored when ``dataset`` is given.
+        dataset: a prebuilt :class:`~repro.bench.datasets.BenchDataset`.
+        duration_s: wall time per sweep point.
+        concurrency_sweep: closed-loop client counts, ascending.
+        knum / pool_size / zipf_s / seed / k: workload shape (keywords
+            per query, query-pool size, popularity skew, RNG seed,
+            answers requested).
+        slo_ms / slo_percentile: the objective — ``latency_ms[percentile]
+            <= slo_ms`` and error rate <= 1%.
+        open_loop: also run the Poisson confirmation at 80% of the
+            sustained headline.
+        backend_factory: zero-arg callable building the expansion
+            backend per engine (default: the fused vectorized backend).
+    """
+    if slo_percentile not in _PERCENTILES:
+        raise ValueError(
+            f"slo_percentile must be one of {_PERCENTILES}, got {slo_percentile!r}"
+        )
+    if not concurrency_sweep:
+        raise ValueError("concurrency_sweep must not be empty")
+    if dataset is None:
+        if scale not in _SCALE_CONFIGS:
+            raise ValueError(
+                f"unknown scale {scale!r}; pick one of {sorted(_SCALE_CONFIGS)}"
+            )
+        dataset = build_dataset(_SCALE_CONFIGS[scale]())
+    if backend_factory is None:
+        from ..parallel.vectorized import VectorizedBackend
+
+        backend_factory = VectorizedBackend
+
+    engine = KeywordSearchEngine(
+        dataset.graph,
+        backend=backend_factory(),  # type: ignore[operator]
+        index=dataset.index,
+        weights=dataset.weights,
+        average_distance=dataset.distance.average,
+    )
+    # One shared flight recorder across all sweep points: the phase
+    # breakdown then averages over the whole bench, and each per-point
+    # SearchService below adopts it instead of building its own.
+    engine.flight = FlightRecorder.from_env()
+    sampler = build_workload(
+        dataset.index, knum=knum, pool_size=pool_size, zipf_s=zipf_s, seed=seed
+    )
+    # Warm-up outside any measured registry: first-query costs (kernel
+    # compile checks, activation-cache fill) are startup, not latency.
+    SearchService(engine, registry=MetricsRegistry()).handle_path(
+        "/search?q=" + sampler.items[0].replace(" ", "+")
+    )
+
+    closed_rows: List[Dict[str, object]] = []
+    for concurrency in concurrency_sweep:
+        # Fresh registry per point so each histogram summary covers
+        # exactly one sweep point's requests.
+        service = SearchService(engine, registry=MetricsRegistry())
+        result = run_closed_loop(
+            service,
+            sampler,
+            duration_s=duration_s,
+            concurrency=concurrency,
+            k=k,
+            seed=seed,
+        )
+        closed_rows.append(_row(result, slo_ms, slo_percentile))
+
+    sustained: Optional[float] = None
+    sustained_concurrency: Optional[int] = None
+    for row in closed_rows:
+        if row["meets_slo"] and (
+            sustained is None or float(row["achieved_qps"]) > sustained  # type: ignore[arg-type]
+        ):
+            sustained = float(row["achieved_qps"])  # type: ignore[arg-type]
+            sustained_concurrency = int(row["concurrency"])  # type: ignore[arg-type]
+
+    open_row: Optional[Dict[str, object]] = None
+    if open_loop and sustained is not None and sustained > 0:
+        service = SearchService(engine, registry=MetricsRegistry())
+        open_result = run_open_loop(
+            service,
+            sampler,
+            duration_s=duration_s,
+            rate_qps=max(sustained * OPEN_LOOP_FRACTION, 0.5),
+            k=k,
+            seed=seed,
+        )
+        open_row = _row(open_result, slo_ms, slo_percentile)
+
+    payload: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "dataset": {
+            "scale": dataset.name,
+            "n_nodes": dataset.graph.n_nodes,
+            "n_edges": dataset.graph.n_edges,
+        },
+        "workload": {
+            "knum": knum,
+            "pool_size": pool_size,
+            "zipf_s": zipf_s,
+            "seed": seed,
+            "k": k,
+            "modes": ["closed"] + (["open"] if open_row is not None else []),
+        },
+        "slo": {
+            "latency_ms": slo_ms,
+            "percentile": slo_percentile,
+            "max_error_rate": MAX_ERROR_RATE,
+        },
+        "closed_loop": closed_rows,
+        "open_loop": open_row,
+        "headline": {
+            "sustained_qps_at_slo": sustained,
+            "at_concurrency": sustained_concurrency,
+        },
+        "phase_breakdown_ms": engine.flight.phase_breakdown_ms(),
+        "generated_unix": time.time(),  # noqa: RPR008 - payload provenance
+    }
+    validate_service_payload(payload)
+    return payload
+
+
+def validate_service_payload(payload: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid
+    ``BENCH_service.json`` (schema v1)."""
+    for key in _REQUIRED_KEYS:
+        if key not in payload:
+            raise ValueError(f"payload missing key {key!r}")
+    if payload["schema"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"schema mismatch: {payload['schema']!r} != {SCHEMA_VERSION!r}"
+        )
+    closed = payload["closed_loop"]
+    if not isinstance(closed, list) or not closed:
+        raise ValueError("closed_loop must be a non-empty list")
+    open_row = payload["open_loop"]
+    rows = list(closed) + ([open_row] if open_row is not None else [])
+    for row in rows:
+        if not isinstance(row, dict):
+            raise ValueError("load rows must be dicts")
+        for key in _ROW_KEYS:
+            if key not in row:
+                raise ValueError(f"load row missing key {key!r}")
+        latency = row["latency_ms"]
+        if not isinstance(latency, dict):
+            raise ValueError("latency_ms must be a dict")
+        for key in _LATENCY_KEYS:
+            if key not in latency:
+                raise ValueError(f"latency_ms missing key {key!r}")
+        if int(row["n_requests"]) < 0:
+            raise ValueError("n_requests must be non-negative")
+        if not (0.0 <= float(row["error_rate"]) <= 1.0):
+            raise ValueError("error_rate must lie in [0, 1]")
+    headline = payload["headline"]
+    if not isinstance(headline, dict) or "sustained_qps_at_slo" not in headline:
+        raise ValueError("headline must carry sustained_qps_at_slo")
+    slo = payload["slo"]
+    if not isinstance(slo, dict) or slo.get("percentile") not in _PERCENTILES:
+        raise ValueError("slo.percentile must be one of p50/p95/p99")
+    if not isinstance(payload["phase_breakdown_ms"], dict):
+        raise ValueError("phase_breakdown_ms must be a dict")
+
+
+def write_service_payload(path: str, payload: Dict[str, object]) -> None:
+    """Validate then pretty-print ``payload`` to ``path``."""
+    validate_service_payload(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_service_report(payload: Dict[str, object]) -> str:
+    """Human-readable summary of one ``BENCH_service.json`` payload."""
+    validate_service_payload(payload)
+    slo = payload["slo"]
+    headline = payload["headline"]
+    lines = [
+        f"service SLO bench — {payload['dataset']['scale']}"  # type: ignore[index]
+        f" ({payload['dataset']['n_nodes']} nodes)",  # type: ignore[index]
+        f"SLO: {slo['percentile']} <= {slo['latency_ms']} ms, "  # type: ignore[index]
+        f"errors <= {float(slo['max_error_rate']) * 100:.0f}%",  # type: ignore[index]
+        "",
+        f"{'mode':>6} {'conc':>5} {'qps':>8} {'p50ms':>8} "
+        f"{'p95ms':>8} {'p99ms':>8} {'err%':>6} {'slo':>4}",
+    ]
+    rows = list(payload["closed_loop"])  # type: ignore[arg-type]
+    if payload["open_loop"] is not None:
+        rows.append(payload["open_loop"])
+    for row in rows:
+        latency = row["latency_ms"]
+        lines.append(
+            f"{row['mode']:>6} {row['concurrency']:>5} "
+            f"{float(row['achieved_qps']):>8.1f} "
+            f"{float(latency['p50']):>8.2f} {float(latency['p95']):>8.2f} "
+            f"{float(latency['p99']):>8.2f} "
+            f"{float(row['error_rate']) * 100:>6.2f} "
+            f"{'yes' if row['meets_slo'] else 'no':>4}"
+        )
+    sustained = headline["sustained_qps_at_slo"]  # type: ignore[index]
+    lines.append("")
+    if sustained is None:
+        lines.append("sustained QPS at SLO: none (no sweep point met the SLO)")
+    else:
+        lines.append(
+            f"sustained QPS at SLO: {float(sustained):.1f} "  # type: ignore[arg-type]
+            f"(closed loop, concurrency "
+            f"{headline['at_concurrency']})"  # type: ignore[index]
+        )
+    breakdown = payload["phase_breakdown_ms"]
+    if breakdown:
+        lines.append("phase breakdown (mean ms/query): " + ", ".join(
+            f"{phase}={ms:.2f}" for phase, ms in breakdown.items()  # type: ignore[union-attr]
+        ))
+    return "\n".join(lines)

@@ -14,6 +14,8 @@ Commands:
 * ``bench``    — a quick single-machine profile (mini Fig. 6 row);
 * ``bench-kernel`` — fused-kernel vs. seed per-column expansion
   microbenchmark, written to ``BENCH_kernel.json``;
+* ``bench-service`` — closed/open-loop load against the in-process HTTP
+  service (zipf workload, SLO sweep), written to ``BENCH_service.json``;
 * ``profile``  — run one query under the span tracer and emit a Chrome
   trace-event JSON (open in Perfetto / ``chrome://tracing``) or a text
   flame summary;
@@ -189,6 +191,50 @@ def _build_parser() -> argparse.ArgumentParser:
              "(default: a temporary directory, deleted afterwards)",
     )
 
+    bench_service = commands.add_parser(
+        "bench-service",
+        help="closed/open-loop service load bench with an SLO sweep "
+             "(writes BENCH_service.json)",
+    )
+    bench_service.add_argument(
+        "--scale", choices=("tiny", "wiki2017", "wiki2018"), default="tiny",
+    )
+    bench_service.add_argument(
+        "--duration", type=float, default=5.0,
+        help="seconds of load per sweep point",
+    )
+    bench_service.add_argument(
+        "--concurrency", default="1,2,4",
+        help="comma-separated closed-loop client counts",
+    )
+    bench_service.add_argument("--knum", type=int, default=3)
+    bench_service.add_argument(
+        "--pool-size", type=int, default=64,
+        help="distinct queries in the zipf pool",
+    )
+    bench_service.add_argument(
+        "--zipf-s", type=float, default=1.1,
+        help="zipf popularity exponent (0 = uniform)",
+    )
+    bench_service.add_argument("--seed", type=int, default=0)
+    bench_service.add_argument("-k", "--topk", type=int, default=5)
+    bench_service.add_argument(
+        "--slo-ms", type=float, default=500.0,
+        help="latency objective in milliseconds",
+    )
+    bench_service.add_argument(
+        "--percentile", choices=("p50", "p95", "p99"), default="p95",
+        help="which latency percentile the SLO constrains",
+    )
+    bench_service.add_argument(
+        "--no-open-loop", action="store_true",
+        help="skip the Poisson open-loop confirmation run",
+    )
+    bench_service.add_argument(
+        "--out", default="BENCH_service.json",
+        help="result JSON path ('' skips writing)",
+    )
+
     profile = commands.add_parser(
         "profile",
         help="trace one query (Chrome trace JSON / flame summary)",
@@ -197,7 +243,8 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--graph", help="saved graph path (default: generate)")
     profile.add_argument("-k", "--topk", type=int, default=5)
     profile.add_argument("--alpha", type=float, default=0.1)
-    profile.add_argument("--backend", choices=sorted(_BACKENDS),
+    profile.add_argument("--backend",
+                         choices=sorted([*_BACKENDS, "processes"]),
                          default="vectorized")
     profile.add_argument("--trace", metavar="FILE",
                          help="write the Chrome trace-event JSON here")
@@ -455,13 +502,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_backend(name: str, graph: KnowledgeGraph):
+    """Build an expansion backend by CLI name.
+
+    ``processes`` is constructed here rather than in ``_BACKENDS``
+    because the worker pool binds to one graph at fork time.
+    """
+    if name == "processes":
+        from .parallel.processes import ProcessPoolBackend
+
+        return ProcessPoolBackend(graph)
+    return _BACKENDS[name]()
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     import json
 
     from .obs.tracing import Tracer
 
     graph, index = _load_or_generate(args.graph)
-    backend = _BACKENDS[args.backend]()
+    backend = _make_backend(args.backend, graph)
     tracer = Tracer(enabled=True)
     engine = KeywordSearchEngine(
         graph, backend=backend, index=index,
@@ -516,6 +576,45 @@ def _cmd_bench_kernel(args: argparse.Namespace) -> int:
     print(format_report(payload))
     if args.out:
         write_payload(payload, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_bench_service(args: argparse.Namespace) -> int:
+    from .bench.service_bench import (
+        format_service_report,
+        run_service_bench,
+        write_service_payload,
+    )
+
+    try:
+        concurrency = tuple(
+            int(part) for part in args.concurrency.split(",") if part.strip()
+        )
+    except ValueError:
+        print("error: --concurrency must be comma-separated integers",
+              file=sys.stderr)
+        return 2
+    if not concurrency:
+        print("error: --concurrency must name at least one client count",
+              file=sys.stderr)
+        return 2
+    payload = run_service_bench(
+        scale=args.scale,
+        duration_s=args.duration,
+        concurrency_sweep=concurrency,
+        knum=args.knum,
+        pool_size=args.pool_size,
+        zipf_s=args.zipf_s,
+        seed=args.seed,
+        k=args.topk,
+        slo_ms=args.slo_ms,
+        slo_percentile=args.percentile,
+        open_loop=not args.no_open_loop,
+    )
+    print(format_service_report(payload))
+    if args.out:
+        write_service_payload(args.out, payload)
         print(f"wrote {args.out}")
     return 0
 
@@ -585,6 +684,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "search": _cmd_search,
         "bench": _cmd_bench,
         "bench-kernel": _cmd_bench_kernel,
+        "bench-service": _cmd_bench_service,
         "profile": _cmd_profile,
         "serve": _cmd_serve,
         "check": _cmd_check,

@@ -17,11 +17,16 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..instrumentation import PHASE_TOTAL, PhaseTimer, StorageReport
+from ..instrumentation import (
+    PHASE_INITIALIZATION,
+    PHASE_TOTAL,
+    PhaseTimer,
+    StorageReport,
+)
 from ..graph.csr import KnowledgeGraph
 from ..graph.sampling import estimate_average_distance
 from ..obs.adapter import TracingPhaseTimer
@@ -37,6 +42,9 @@ from .scoring import DEFAULT_LAMBDA
 from .state import SearchState
 from .top_down import TopDownConfig, process_top_down
 from .weights import node_weights
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.flight import FlightRecorder
 
 
 @dataclass
@@ -105,6 +113,11 @@ class KeywordSearchEngine:
     ) -> None:
         self.graph = graph
         self.tracer = tracer
+        #: Optional query flight recorder (:mod:`repro.obs.flight`).
+        #: ``None`` (default) records nothing and costs one attribute
+        #: load per query; :class:`~repro.service.SearchService` attaches
+        #: one so every served query leaves a ``QueryRecord``.
+        self.flight: "Optional[FlightRecorder]" = None
         self.config = config or EngineConfig()
         self.index = index or InvertedIndex.from_graph(graph, tokenizer)
         self.weights = (
@@ -173,7 +186,9 @@ class KeywordSearchEngine:
         from ..text.query_parser import parse_query, resolve_keyword_groups
 
         pairs = resolve_keyword_groups(parse_query(query), self.index)
-        return self._search_pairs(pairs, k, alpha, lam, activation_override)
+        return self._search_pairs(
+            pairs, k, alpha, lam, activation_override, query_text=query
+        )
 
     def search_terms(
         self,
@@ -193,6 +208,7 @@ class KeywordSearchEngine:
         alpha: Optional[float],
         lam: Optional[float],
         activation_override: Optional[np.ndarray],
+        query_text: str = "",
     ) -> SearchResult:
         k = k if k is not None else self.config.topk
         alpha = alpha if alpha is not None else self.config.alpha
@@ -201,55 +217,82 @@ class KeywordSearchEngine:
         keywords = tuple(term for term, nodes in pairs if len(nodes) > 0)
         dropped = tuple(term for term, nodes in pairs if len(nodes) == 0)
         node_sets = [nodes for _, nodes in pairs if len(nodes) > 0]
+
+        flight = self.flight
+        recording = None
+        if flight is not None and flight.enabled:
+            recording = flight.begin(
+                query_text or " ".join(keywords + dropped),
+                keywords=keywords,
+                dropped_terms=dropped,
+                backend=getattr(self.backend, "name", ""),
+            )
         if not node_sets:
-            raise EmptyQueryError(
+            error = EmptyQueryError(
                 "no query term matches any node "
                 f"(dropped: {', '.join(dropped) or '<empty query>'})"
             )
+            if recording is not None:
+                error.query_id = recording.query_id  # type: ignore[attr-defined]
+                error.phase = PHASE_INITIALIZATION  # type: ignore[attr-defined]
+                recording.fail(error, phase=PHASE_INITIALIZATION)
+            raise error
         if activation_override is not None:
             activation = np.asarray(activation_override, dtype=np.int32)
         else:
             activation = self.activation_for(alpha)
 
         tracer = self.tracer if self.tracer is not None else get_global_tracer()
+        if recording is not None and not tracer.enabled:
+            # Flight recording brings its own per-query tracer, so the
+            # record carries a span tree even when neither REPRO_TRACE
+            # nor an engine tracer is configured.
+            tracer = recording.tracer
         # The disabled path must stay bit-for-bit the seed hot path: a
         # plain PhaseTimer and no span context managers (REPRO_OBS=0 /
         # no tracer installed ⇒ zero-overhead telemetry).
         timer: PhaseTimer = (
             TracingPhaseTimer(tracer) if tracer.enabled else PhaseTimer()
         )
-        with tracer.span(
-            "query", knum=len(keywords), k=k, alpha=alpha
-        ) as query_span:
-            with timer.phase(PHASE_TOTAL):
-                bottom_up = self._searcher.run(
-                    node_sets, activation, k, timer=timer, tracer=tracer
+        try:
+            with tracer.span(
+                "query", knum=len(keywords), k=k, alpha=alpha
+            ) as query_span:
+                with timer.phase(PHASE_TOTAL):
+                    bottom_up = self._searcher.run(
+                        node_sets, activation, k, timer=timer, tracer=tracer
+                    )
+                    ranked = process_top_down(
+                        self.graph,
+                        bottom_up.state,
+                        self.weights,
+                        config=TopDownConfig(
+                            k=k,
+                            lam=lam,
+                            apply_level_cover=self.config.apply_level_cover,
+                            deduplicate=self.config.deduplicate,
+                            single_path=self.config.single_path,
+                            n_threads=self.config.top_down_threads,
+                            native=self.config.top_down_native,
+                        ),
+                        timer=timer,
+                    )
+                query_span.set_attrs(
+                    {
+                        "depth": bottom_up.depth,
+                        "n_central_nodes": bottom_up.state.n_central_nodes,
+                        "n_answers": len(ranked),
+                        "terminated": bottom_up.terminated,
+                    }
                 )
-                ranked = process_top_down(
-                    self.graph,
-                    bottom_up.state,
-                    self.weights,
-                    config=TopDownConfig(
-                        k=k,
-                        lam=lam,
-                        apply_level_cover=self.config.apply_level_cover,
-                        deduplicate=self.config.deduplicate,
-                        single_path=self.config.single_path,
-                        n_threads=self.config.top_down_threads,
-                        native=self.config.top_down_native,
-                    ),
-                    timer=timer,
-                )
-            query_span.set_attrs(
-                {
-                    "depth": bottom_up.depth,
-                    "n_central_nodes": bottom_up.state.n_central_nodes,
-                    "n_answers": len(ranked),
-                    "terminated": bottom_up.terminated,
-                }
-            )
+        except Exception as error:
+            if recording is not None:
+                error.query_id = recording.query_id  # type: ignore[attr-defined]
+                error.phase = PHASE_TOTAL  # type: ignore[attr-defined]
+                recording.fail(error, phase=PHASE_TOTAL, tracer=tracer)
+            raise
         answers = [SearchAnswer(graph=g, keywords=keywords) for g in ranked]
-        return SearchResult(
+        result = SearchResult(
             answers=answers,
             keywords=keywords,
             dropped_terms=dropped,
@@ -259,7 +302,11 @@ class KeywordSearchEngine:
             timer=timer,
             peak_state_nbytes=bottom_up.peak_state_nbytes,
             level_profile=bottom_up.level_profile,
+            query_id=recording.query_id if recording is not None else None,
         )
+        if recording is not None:
+            recording.complete(result, query_span=query_span, tracer=tracer)
+        return result
 
     # ------------------------------------------------------------------
     # Cross-query coalesced batches

@@ -9,7 +9,7 @@ the variants interchangeably.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..instrumentation import PhaseTimer
 from .central_graph import SearchAnswer
@@ -41,6 +41,10 @@ class SearchResult:
         level_profile: per-BFS-level expansion accounting from stage one
             (frontier size, edges scanned, new hits, new Central Nodes);
             empty for engine variants that do not record it.
+        query_id: the flight-recorder id of this query's
+            :class:`~repro.obs.flight.QueryRecord` (the
+            ``/debug/queries/<id>`` key), or ``None`` when no recorder
+            was attached.
     """
 
     answers: List[SearchAnswer]
@@ -52,6 +56,7 @@ class SearchResult:
     timer: PhaseTimer
     peak_state_nbytes: int
     level_profile: "List[LevelProfile]" = field(default_factory=list)
+    query_id: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.answers)

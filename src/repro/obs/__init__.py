@@ -13,6 +13,12 @@ One API for all telemetry:
 * :mod:`repro.obs.config` — the ``REPRO_OBS`` kill-switch,
   ``REPRO_NATIVE_KERNEL`` propagation, and the ``REPRO_TRACE``
   bench-run trace hook.
+* :mod:`repro.obs.flight` — the query flight recorder: a ring buffer of
+  the last N completed :class:`~repro.obs.flight.QueryRecord`\\ s plus
+  a slow-query log (``REPRO_FLIGHT_N`` / ``REPRO_SLOW_MS``).
+* :mod:`repro.obs.proc` — cross-process span propagation for the worker
+  pool tier: worker-side :class:`~repro.obs.proc.WorkerSpanRecorder`
+  buffers, stitched under the parent query span.
 
 See ``docs/OBSERVABILITY.md`` for the span model, metric naming scheme,
 and how to scrape/open the exports.
@@ -20,14 +26,19 @@ and how to scrape/open the exports.
 
 from .adapter import TracingPhaseTimer
 from .config import (
+    ENV_FLIGHT_N,
     ENV_NATIVE_KERNEL,
     ENV_OBS,
+    ENV_SLOW_MS,
     ENV_TRACE,
     ObsConfig,
+    flight_recorder_size,
     maybe_install_env_tracer,
     native_kernel_enabled,
     obs_enabled,
+    slow_query_threshold_ms,
 )
+from .flight import FlightRecorder, QueryRecord, QueryRecording
 from .metrics import (
     Counter,
     Gauge,
@@ -36,6 +47,7 @@ from .metrics import (
     get_registry,
     record_kernel_counters,
 )
+from .proc import WorkerSpanRecorder, stitch_worker_spans
 from .tracing import (
     NULL_TRACER,
     NullTracer,
@@ -49,18 +61,25 @@ from .tracing import (
 
 __all__ = [
     "Counter",
+    "ENV_FLIGHT_N",
     "ENV_NATIVE_KERNEL",
     "ENV_OBS",
+    "ENV_SLOW_MS",
     "ENV_TRACE",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "ObsConfig",
+    "QueryRecord",
+    "QueryRecording",
     "Span",
     "Tracer",
     "TracingPhaseTimer",
+    "WorkerSpanRecorder",
+    "flight_recorder_size",
     "get_global_tracer",
     "get_registry",
     "install_global_tracer",
@@ -68,6 +87,8 @@ __all__ = [
     "native_kernel_enabled",
     "obs_enabled",
     "record_kernel_counters",
+    "slow_query_threshold_ms",
+    "stitch_worker_spans",
     "uninstall_global_tracer",
     "validate_chrome_trace",
 ]

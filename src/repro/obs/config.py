@@ -31,6 +31,13 @@ registration):
   pool; each ``ProcessPoolBackend`` then owns a fresh pool.
 * ``REPRO_POOL_WORKERS`` — worker-count override for the persistent
   process pool.
+* ``REPRO_SLOW_MS`` — slow-query threshold (milliseconds) for the query
+  flight recorder (:mod:`repro.obs.flight`): a completed query slower
+  than this is promoted to the slow-query log with its full Chrome
+  trace persisted. ``0`` disables the slow log.
+* ``REPRO_FLIGHT_N`` — ring-buffer capacity of the flight recorder
+  (how many recent :class:`~repro.obs.flight.QueryRecord`\\ s are kept).
+  ``0`` disables flight recording entirely.
 """
 
 from __future__ import annotations
@@ -77,6 +84,25 @@ ENV_POOL_PERSIST = "REPRO_POOL_PERSIST"
 #: ``REPRO_POOL_WORKERS=8``. Unset/empty defers to the backend's
 #: ``n_workers`` argument.
 ENV_POOL_WORKERS = "REPRO_POOL_WORKERS"
+
+#: Slow-query threshold in milliseconds for the query flight recorder
+#: (:mod:`repro.obs.flight`). Queries at or above the threshold land in
+#: the slow-query log with their full Chrome trace persisted; ``0``
+#: disables the slow log. Unset defaults to
+#: :data:`DEFAULT_SLOW_QUERY_MS`.
+ENV_SLOW_MS = "REPRO_SLOW_MS"
+
+#: Flight-recorder ring capacity: how many recent completed queries the
+#: recorder keeps (:class:`repro.obs.flight.FlightRecorder`). ``0``
+#: disables flight recording; unset defaults to
+#: :data:`DEFAULT_FLIGHT_RECORDS`.
+ENV_FLIGHT_N = "REPRO_FLIGHT_N"
+
+#: Default ``REPRO_SLOW_MS`` when the variable is unset or unparsable.
+DEFAULT_SLOW_QUERY_MS = 500.0
+
+#: Default ``REPRO_FLIGHT_N`` when the variable is unset or unparsable.
+DEFAULT_FLIGHT_RECORDS = 128
 
 #: Opt-in gate for the out-of-core store smoke
 #: (``tests/test_store_outofcore.py``): ``REPRO_OOC_SMOKE=1`` runs the
@@ -132,6 +158,35 @@ def pool_workers_override() -> Optional[int]:
     except ValueError:
         return None
     return value if value > 0 else None
+
+
+def slow_query_threshold_ms() -> float:
+    """The ``REPRO_SLOW_MS`` slow-query threshold in milliseconds.
+
+    ``0`` disables the slow-query log. Unparsable or negative values
+    fall back to :data:`DEFAULT_SLOW_QUERY_MS` — a stray environment
+    variable must not break queries.
+    """
+    raw = os.environ.get(ENV_SLOW_MS, "")
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_SLOW_QUERY_MS
+    return value if value >= 0.0 else DEFAULT_SLOW_QUERY_MS
+
+
+def flight_recorder_size() -> int:
+    """The ``REPRO_FLIGHT_N`` flight-recorder ring capacity.
+
+    ``0`` disables flight recording. Unparsable or negative values fall
+    back to :data:`DEFAULT_FLIGHT_RECORDS`.
+    """
+    raw = os.environ.get(ENV_FLIGHT_N, "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_FLIGHT_RECORDS
+    return value if value >= 0 else DEFAULT_FLIGHT_RECORDS
 
 
 @dataclass(frozen=True)

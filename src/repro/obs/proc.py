@@ -1,0 +1,145 @@
+"""Cross-process span propagation for the worker-pool tier.
+
+The span tracer (:mod:`repro.obs.tracing`) is an in-process object:
+pool *threads* attach to it with explicit ``parent=`` handoff, but pool
+*processes* (:class:`repro.parallel.pool.WorkerPool`) cannot share it —
+until this module, a process-tier query traced one opaque
+``process_pool.map`` span per level and all worker-side time was
+invisible.
+
+The protocol:
+
+1. the parent ships its tracer's :attr:`~repro.obs.tracing.Tracer.epoch_ns`
+   to the workers inside the task tuple (``None`` = tracing off);
+2. each worker runs a :class:`WorkerSpanRecorder` — a dependency-free
+   span stack that records ``(name, start_ns, duration_ns, parent,
+   pid, attrs)`` tuples relative to the *parent's* epoch (Linux
+   ``perf_counter_ns`` reads the system-wide ``CLOCK_MONOTONIC``, so
+   child and parent clocks agree);
+3. the recorder's buffer is the chunk task's return value, shipped back
+   through the executor with the result;
+4. the parent calls :func:`stitch_worker_spans`, which adopts every
+   buffered interval into its tracer
+   (:meth:`~repro.obs.tracing.Tracer.adopt_span`) with fresh span ids
+   and an explicit ``parent=`` handoff to the dispatch span — so the
+   flight recorder and ``repro profile`` show worker-side time nested
+   under the query.
+
+Buffers are plain lists of dicts (picklable, no numpy, no tracer
+reference), so shipping them costs a few hundred bytes per chunk.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from .tracing import Span, Tracer
+
+#: Buffer entry keys (the wire format version is implicit in this set;
+#: both sides live in one repo so no negotiation is needed).
+_ENTRY_KEYS = ("name", "id", "parent", "start_ns", "duration_ns", "pid", "attrs")
+
+
+class WorkerSpanRecorder:
+    """A lightweight, pool-worker-side span recorder.
+
+    Records nested intervals against a foreign (parent-process) epoch
+    and serializes them as a list of plain dicts. Local span ids are
+    only meaningful inside one buffer; :func:`stitch_worker_spans`
+    remaps them into the parent tracer's id space.
+
+    Args:
+        epoch_ns: the parent tracer's ``epoch_ns`` — all recorded
+            timestamps are ``perf_counter_ns() - epoch_ns``.
+    """
+
+    def __init__(self, epoch_ns: int) -> None:
+        self.epoch_ns = int(epoch_ns)
+        self._entries: List[Dict[str, object]] = []
+        self._stack: List[int] = []
+        self._next_id = 1
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Dict[str, object]]:
+        """Open a nested interval; yields the (mutable) buffer entry."""
+        entry: Dict[str, object] = {
+            "name": name,
+            "id": self._next_id,
+            "parent": self._stack[-1] if self._stack else 0,
+            "start_ns": time.perf_counter_ns() - self.epoch_ns,
+            "duration_ns": 0,
+            "pid": os.getpid(),
+            "attrs": dict(attrs),
+        }
+        self._next_id += 1
+        self._stack.append(int(entry["id"]))  # type: ignore[call-overload]
+        try:
+            yield entry
+        finally:
+            entry["duration_ns"] = (
+                time.perf_counter_ns() - self.epoch_ns - int(entry["start_ns"])  # type: ignore[arg-type]
+            )
+            self._stack.pop()
+            self._entries.append(entry)
+
+    def payload(self) -> List[Dict[str, object]]:
+        """The finished-span buffer (picklable; ship with the result)."""
+        return list(self._entries)
+
+
+def stitch_worker_spans(
+    tracer: Tracer,
+    parent: Optional[Span],
+    buffers: Iterable[Optional[List[Dict[str, object]]]],
+) -> List[Span]:
+    """Adopt worker-side span buffers into ``tracer`` under ``parent``.
+
+    Every buffered interval becomes a real :class:`Span` with a fresh id
+    from the parent tracer; buffer-local parent links are remapped, and
+    buffer roots get the explicit ``parent=`` handoff (the dispatch
+    span), so the stitched spans nest under the query like pool-thread
+    spans do. The worker pid doubles as the Chrome-trace ``tid`` so
+    Perfetto renders one lane per worker process.
+
+    Args:
+        tracer: the parent tracer (spans are dropped when disabled).
+        parent: the span to hang buffer roots under (normally the
+            ``process_pool.map`` dispatch span).
+        buffers: one buffer per chunk task; ``None`` entries (tasks that
+            ran with tracing off) are skipped.
+
+    Returns the adopted spans, in buffer order.
+    """
+    adopted: List[Span] = []
+    if not tracer.enabled:
+        return adopted
+    for buffer in buffers:
+        if not buffer:
+            continue
+        by_local_id: Dict[int, Span] = {}
+        # Buffers finish children before parents; local ids are assigned
+        # at open time, so creation order restores parents-first.
+        for entry in sorted(
+            buffer, key=lambda e: int(e.get("id", 0)) if isinstance(e, dict) else 0
+        ):
+            if not isinstance(entry, dict):
+                continue
+            pid = int(entry.get("pid", 0))  # type: ignore[arg-type]
+            local_parent = int(entry.get("parent", 0))  # type: ignore[arg-type]
+            attrs = dict(entry.get("attrs") or {})  # type: ignore[arg-type]
+            attrs.setdefault("worker_pid", pid)
+            span = tracer.adopt_span(
+                name=str(entry.get("name", "worker_span")),
+                start_ns=int(entry.get("start_ns", 0)),  # type: ignore[arg-type]
+                duration_ns=int(entry.get("duration_ns", 0)),  # type: ignore[arg-type]
+                parent=by_local_id.get(local_parent, parent),
+                tid=pid,
+                thread_name=f"worker-{pid}",
+                attrs=attrs,
+            )
+            by_local_id[int(entry["id"])] = span  # type: ignore[call-overload]
+            adopted.append(span)
+    return adopted

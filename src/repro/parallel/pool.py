@@ -48,6 +48,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from ..graph.csr import KnowledgeGraph
+from ..obs.config import obs_enabled
+from ..obs.metrics import get_registry
 
 __all__ = [
     "BrokenProcessPool",
@@ -55,6 +57,10 @@ __all__ = [
     "get_pool",
     "shutdown_all",
 ]
+
+#: Metric names as module-level constants (lint RPR012).
+METRIC_POOL_RESPAWNS = "repro_pool_respawns_total"
+METRIC_POOL_WORKERS = "repro_pool_workers"
 
 # Worker-side CSR views, populated once by the pool initializer — either
 # fork-inherited (copy-on-write) pages for in-RAM graphs, or read-only
@@ -148,6 +154,10 @@ class WorkerPool:
             initializer=initializer,
             initargs=initargs,
         )
+        if obs_enabled():
+            get_registry().gauge(
+                METRIC_POOL_WORKERS, "configured pool worker processes",
+            ).set(self.n_workers)
 
     def warm(self) -> "List[int]":
         """Force every worker to spawn; returns the live worker PIDs.
@@ -177,6 +187,11 @@ class WorkerPool:
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
         self.respawn_count += 1
+        if obs_enabled():
+            get_registry().counter(
+                METRIC_POOL_RESPAWNS,
+                "worker-pool executor rebuilds after a crash",
+            ).inc()
         self._spawn()
 
     def shutdown(self) -> None:

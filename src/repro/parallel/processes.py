@@ -43,6 +43,7 @@ import numpy as np
 from ..core.state import SearchState
 from ..graph.csr import KnowledgeGraph
 from ..obs.config import pool_persist_enabled, pool_workers_override
+from ..obs.proc import WorkerSpanRecorder, stitch_worker_spans
 from .backend import ExpansionBackend
 from . import pool as pool_module
 from .pool import WorkerPool, get_pool
@@ -102,15 +103,42 @@ def _views(buffer: memoryview, n: int, q: int) -> "Dict[str, np.ndarray]":
     }
 
 
-def _expand_chunk_task(args: Tuple[str, int, int, int, np.ndarray]) -> None:
+def _expand_chunk_task(
+    args: "Tuple[str, int, int, int, np.ndarray, Optional[int]]",
+) -> "Optional[List[Dict[str, object]]]":
     """Algorithm 2 over one frontier chunk, against shared state.
 
     Every store is idempotent (``level + 1`` into ∞ cells, ``1`` into
     FIdentifier), so re-running a chunk — or a whole level after a
     worker crash — writes the same values again (Theorem V.2).
+
+    When the parent ships its tracer epoch (``epoch_ns`` not ``None``)
+    the chunk runs under a :class:`~repro.obs.proc.WorkerSpanRecorder`
+    and returns the span buffer for the parent to stitch; with tracing
+    off it returns ``None`` and records nothing.
     """
-    shm_name, n, q, level, chunk = args
+    shm_name, n, q, level, chunk, epoch_ns = args
+    if epoch_ns is not None:
+        recorder = WorkerSpanRecorder(epoch_ns)
+        with recorder.span(
+            "worker_chunk", level=level, chunk_size=len(chunk)
+        ):
+            with recorder.span("attach"):
+                segment = _attach(shm_name)
+            _expand_chunk_body(segment, n, q, level, chunk)
+        return recorder.payload()
     segment = _attach(shm_name)
+    _expand_chunk_body(segment, n, q, level, chunk)
+    return None
+
+
+def _expand_chunk_body(
+    segment: shared_memory.SharedMemory,
+    n: int,
+    q: int,
+    level: int,
+    chunk: np.ndarray,
+) -> None:
     views = _views(segment.buf, n, q)
     matrix = views["matrix"]
     f_identifier = views["f_identifier"]
@@ -249,20 +277,28 @@ class ProcessPoolBackend(ExpansionBackend):
             chunks = [
                 frontier[start::n_chunks] for start in range(n_chunks)
             ]
-        tasks = [
-            (segment.name, n, q, level, chunk) for chunk in chunks
-        ]
         if self.tracer.enabled:
-            # Worker processes cannot share the tracer; one span around
-            # the whole dispatch records the pool round instead.
+            # Workers record their own spans against the parent tracer's
+            # epoch and ship the buffers back with the chunk results;
+            # stitching hangs them under this dispatch span
+            # (:mod:`repro.obs.proc`).
+            epoch_ns: Optional[int] = self.tracer.epoch_ns
+            tasks = [
+                (segment.name, n, q, level, chunk, epoch_ns)
+                for chunk in chunks
+            ]
             with self.tracer.span(
                 "process_pool.map",
                 chunks=len(chunks),
                 frontier_size=len(frontier),
                 level=level,
-            ):
-                self._pool.run_tasks(_expand_chunk_task, tasks)
+            ) as dispatch_span:
+                buffers = self._pool.run_tasks(_expand_chunk_task, tasks)
+            stitch_worker_spans(self.tracer, dispatch_span, buffers)
         else:
+            tasks = [
+                (segment.name, n, q, level, chunk, None) for chunk in chunks
+            ]
             self._pool.run_tasks(_expand_chunk_task, tasks)
 
         # Copy the mutated state back.

@@ -13,7 +13,11 @@ Endpoints:
 * ``GET /metrics``              — Prometheus text exposition (request
   latency histograms, per-endpoint counters, kernel work counters),
 * ``GET /statz``                — JSON service statistics (per-endpoint
-  counts, last error detail).
+  counts, last error detail),
+* ``GET /debug/queries``        — the query flight recorder's ring
+  (recent and slow queries; :mod:`repro.obs.flight`),
+* ``GET /debug/queries/<id>``   — one recorded query in full, including
+  its Chrome-trace span tree.
 
 The query logic lives in :class:`SearchService`, a plain object that is
 fully testable without sockets; the HTTP handler is a thin shell.
@@ -32,18 +36,32 @@ from urllib.parse import parse_qs, urlparse
 from .core.central_graph import SearchAnswer
 from .core.engine import EmptyQueryError, KeywordSearchEngine
 from .graph.csr import KnowledgeGraph
+from .obs.flight import FlightRecorder
 from .obs.metrics import MetricsRegistry, get_registry
 from .viz import edge_predicates
 
 #: Bounded endpoint label set — unknown paths collapse to "other" so a
 #: scanner cannot explode the metric cardinality.
-_KNOWN_ENDPOINTS = ("/", "/healthz", "/search", "/metrics", "/statz")
+_KNOWN_ENDPOINTS = (
+    "/", "/healthz", "/search", "/metrics", "/statz", "/debug/queries",
+)
 
 #: Prometheus text exposition format version (content negotiation).
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
+#: Metric names as module-level constants (lint RPR012: registry calls
+#: must not build names inline, so grep and the docs table stay the
+#: single source of truth).
+METRIC_HTTP_REQUESTS = "repro_http_requests_total"
+METRIC_HTTP_REQUEST_SECONDS = "repro_http_request_seconds"
+METRIC_HTTP_ERRORS = "repro_http_errors_total"
+
 
 def _endpoint_label(path: str) -> str:
+    if path.startswith("/debug/queries"):
+        # /debug/queries/<id> must not explode cardinality: every record
+        # lookup shares the listing endpoint's label.
+        return "/debug/queries"
     return path if path in _KNOWN_ENDPOINTS else "other"
 
 _PAGE = """<!doctype html>
@@ -84,8 +102,12 @@ class ServiceStats:
             (unknown paths collapse to ``"other"``).
         errors_by_endpoint: non-2xx responses, keyed the same way.
         last_error: detail of the most recent error response —
-            ``{"endpoint", "status", "message", "unix_time"}`` — or
-            ``None`` when no error has occurred yet.
+            ``{"endpoint", "status", "message", "query_id", "phase",
+            "unix_time"}`` — or ``None`` when no error has occurred yet.
+            ``query_id`` is the flight-recorder record id (fetch the
+            full trace at ``/debug/queries/<id>``) and ``phase`` the
+            engine phase that failed; both are ``None`` for errors that
+            never reached the engine.
         started_unix: service construction time (epoch seconds).
     """
 
@@ -117,21 +139,39 @@ class SearchService:
         registry: metrics destination; defaults to the process registry,
             so kernel work counters recorded by the backends land in the
             same ``/metrics`` output as the HTTP series.
+        flight: query flight recorder backing ``/debug/queries``. When
+            omitted, the engine's attached recorder is adopted (so
+            several services sharing one engine expose one ring), else
+            a fresh env-configured recorder is built and attached.
     """
 
     def __init__(
         self,
         engine: KeywordSearchEngine,
         registry: Optional[MetricsRegistry] = None,
+        flight: Optional[FlightRecorder] = None,
     ) -> None:
         self.engine = engine
         self.graph: KnowledgeGraph = engine.graph
         self.stats = ServiceStats(started_unix=time.time())
         self.registry = registry if registry is not None else get_registry()
+        if flight is not None:
+            self.flight = flight
+        elif engine.flight is not None:
+            self.flight = engine.flight
+        else:
+            self.flight = FlightRecorder.from_env()
+        engine.flight = self.flight
         self._lock = threading.Lock()
 
     def _record_request(
-        self, endpoint: str, status: int, seconds: float, message: str = ""
+        self,
+        endpoint: str,
+        status: int,
+        seconds: float,
+        message: str = "",
+        query_id: Optional[int] = None,
+        phase: Optional[str] = None,
     ) -> None:
         """Update stats + metrics for one served GET."""
         with self._lock:
@@ -146,19 +186,21 @@ class SearchService:
                     "endpoint": endpoint,
                     "status": status,
                     "message": message,
+                    "query_id": query_id,
+                    "phase": phase,
                     "unix_time": time.time(),
                 }
         self.registry.counter(
-            "repro_http_requests_total", "HTTP GETs served",
+            METRIC_HTTP_REQUESTS, "HTTP GETs served",
             endpoint=endpoint,
         ).inc()
         self.registry.histogram(
-            "repro_http_request_seconds", "HTTP request latency",
+            METRIC_HTTP_REQUEST_SECONDS, "HTTP request latency",
             endpoint=endpoint,
         ).observe(seconds)
         if status >= 400:
             self.registry.counter(
-                "repro_http_errors_total", "HTTP error responses",
+                METRIC_HTTP_ERRORS, "HTTP error responses",
                 endpoint=endpoint,
             ).inc()
 
@@ -229,9 +271,17 @@ class SearchService:
             suggestions = suggest_for_dropped(
                 self.engine.index, query.split()
             )
-            return 404, {"error": str(error), "suggestions": suggestions}
+            return 404, {
+                "error": str(error),
+                "suggestions": suggestions,
+                # Flight-recorder linkage: the failed query's record id
+                # and failing phase (None when recording was off).
+                "query_id": getattr(error, "query_id", None),
+                "phase": getattr(error, "phase", None),
+            }
         payload = {
             "query": query,
+            "query_id": result.query_id,
             "keywords": list(result.keywords),
             "dropped_terms": list(result.dropped_terms),
             "depth": result.depth,
@@ -259,13 +309,23 @@ class SearchService:
         start = time.perf_counter()
         status, content_type, body = self._dispatch(parsed)
         message = ""
+        query_id: Optional[int] = None
+        phase: Optional[str] = None
         if status >= 400 and content_type == "application/json":
             try:
-                message = json.loads(body).get("error", "")
+                detail = json.loads(body)
+                message = detail.get("error", "")
+                query_id = detail.get("query_id")
+                phase = detail.get("phase")
             except (ValueError, AttributeError):  # pragma: no cover
                 message = ""
         self._record_request(
-            endpoint, status, time.perf_counter() - start, message
+            endpoint,
+            status,
+            time.perf_counter() - start,
+            message,
+            query_id=query_id,
+            phase=phase,
         )
         return status, content_type, body
 
@@ -288,6 +348,26 @@ class SearchService:
                     "storage": self.graph.memory_report(),
                     "metrics": self.registry.snapshot(),
                 }
+            )
+        if parsed.path == "/debug/queries":
+            return 200, "application/json", json.dumps(
+                self.flight.debug_payload()
+            )
+        if parsed.path.startswith("/debug/queries/"):
+            raw_id = parsed.path[len("/debug/queries/"):]
+            try:
+                query_id = int(raw_id)
+            except ValueError:
+                return 400, "application/json", json.dumps(
+                    {"error": f"query id must be an integer, got {raw_id!r}"}
+                )
+            record = self.flight.get(query_id)
+            if record is None:
+                return 404, "application/json", json.dumps(
+                    {"error": f"no flight record for query id {query_id}"}
+                )
+            return 200, "application/json", json.dumps(
+                record.as_dict(include_trace=True)
             )
         if parsed.path == "/search":
             params = parse_qs(parsed.query)

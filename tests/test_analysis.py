@@ -535,6 +535,61 @@ def test_rpr011_kernel_binding_set_equality():
     assert "ghost_symbol" in drift[0].message
 
 
+def test_rpr012_inline_metric_names_flagged():
+    # f-string metric name on a registry receiver.
+    assert "RPR012" in _rules_of(
+        """
+        def emit(registry, field):
+            registry.counter(f"repro_{field}_total", "help").inc()
+        """
+    )
+    # Inline string literal, get_registry() receiver, name= keyword.
+    assert "RPR012" in _rules_of(
+        """
+        from repro.obs.metrics import get_registry
+
+        def emit():
+            get_registry().gauge("repro_pool_workers").set(1)
+        """
+    )
+    assert "RPR012" in _rules_of(
+        """
+        def emit(self):
+            self.registry.histogram(name="repro_http_request_seconds")
+        """
+    )
+
+
+def test_rpr012_constant_names_and_unrelated_receivers_pass():
+    clean = _rules_of(
+        """
+        METRIC_REQUESTS = "repro_http_requests_total"
+
+        def emit(registry, endpoint):
+            registry.counter(METRIC_REQUESTS, "GETs", endpoint=endpoint).inc()
+        """
+    )
+    assert "RPR012" not in clean
+    # A non-registry receiver with a same-named method is out of scope.
+    unrelated = _rules_of(
+        """
+        def tally(bank):
+            return bank.counter("slot-7")
+        """
+    )
+    assert "RPR012" not in unrelated
+
+
+def test_flight_env_vars_registered_for_rpr004():
+    import inspect
+
+    from repro.analysis.lint import registered_env_vars
+    from repro.obs import config
+
+    registered = registered_env_vars(inspect.getsource(config))
+    assert {"REPRO_SLOW_MS", "REPRO_FLIGHT_N"} <= registered
+
+
 def test_run_lint_allowlist_waives_rules_into_allowed(tmp_path):
     module = tmp_path / "helper.py"
     module.write_text("def f(acc=[]):\n    return acc\n", encoding="utf-8")

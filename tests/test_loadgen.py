@@ -1,0 +1,144 @@
+"""The load harness (``repro.bench.loadgen``) and the service SLO bench
+(``repro.bench.service_bench``)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    ZipfSampler,
+    build_workload,
+    run_closed_loop,
+    run_open_loop,
+    run_service_bench,
+    validate_service_payload,
+    write_service_payload,
+)
+from repro.core.engine import KeywordSearchEngine
+from repro.obs import MetricsRegistry
+from repro.parallel import VectorizedBackend
+from repro.service import SearchService
+
+
+@pytest.fixture()
+def service(tiny_kb):
+    graph, _ = tiny_kb
+    engine = KeywordSearchEngine(graph, backend=VectorizedBackend())
+    return SearchService(engine, registry=MetricsRegistry())
+
+
+# ---------------------------------------------------------------------------
+# Zipf sampling
+# ---------------------------------------------------------------------------
+def test_zipf_sampler_deterministic_and_skewed():
+    items = [f"q{i}" for i in range(16)]
+    a = ZipfSampler(items, s=1.1, seed=7)
+    b = ZipfSampler(items, s=1.1, seed=7)
+    assert a.sample_many(20) == b.sample_many(20)
+    # Probabilities decay monotonically with rank and favor the head.
+    p = a.probabilities()
+    assert np.all(np.diff(p) < 0)
+    assert p[0] > 4 * p[-1]
+    # s=0 degenerates to uniform.
+    uniform = ZipfSampler(items, s=0.0, seed=7).probabilities()
+    assert np.allclose(uniform, 1.0 / len(items))
+
+
+def test_zipf_sampler_validations_and_spawn():
+    with pytest.raises(ValueError):
+        ZipfSampler([])
+    with pytest.raises(ValueError):
+        ZipfSampler(["a"], s=-1.0)
+    base = ZipfSampler(["a", "b", "c"], s=1.2, seed=1)
+    child = base.spawn(99)
+    assert child.items == base.items and child.s == base.s
+    assert child.seed == 99
+
+
+def test_build_workload_samples_indexed_terms(service):
+    sampler = build_workload(service.engine.index, knum=2, pool_size=8)
+    assert len(sampler.items) == 8
+    query = sampler.sample()
+    assert len(query.split()) == 2
+
+
+# ---------------------------------------------------------------------------
+# Closed / open loop
+# ---------------------------------------------------------------------------
+def test_closed_loop_counts_and_latency(service):
+    sampler = build_workload(service.engine.index, knum=2, pool_size=8)
+    result = run_closed_loop(
+        service, sampler, duration_s=0.4, concurrency=2, k=3
+    )
+    assert result.mode == "closed"
+    assert result.concurrency == 2
+    assert result.n_requests > 0
+    assert result.n_requests == sum(result.status_counts.values())
+    assert result.achieved_qps > 0
+    assert 0.0 <= result.error_rate <= 1.0
+    # Latency numbers come from the service's own /metrics histogram.
+    assert result.latency_seconds["count"] == pytest.approx(
+        service.registry.histogram(
+            "repro_http_request_seconds", endpoint="/search"
+        ).summary()["count"]
+    )
+    ms = result.latency_ms()
+    assert set(ms) == {"mean", "p50", "p95", "p99"}
+    assert ms["p95"] >= ms["p50"] > 0
+
+
+def test_open_loop_offers_poisson_arrivals(service):
+    sampler = build_workload(service.engine.index, knum=2, pool_size=8)
+    result = run_open_loop(
+        service, sampler, duration_s=0.5, rate_qps=20.0, k=3
+    )
+    assert result.mode == "open"
+    assert result.offered_qps == 20.0
+    assert result.n_requests > 0
+    assert result.n_requests == sum(result.status_counts.values())
+    assert result.duration_s >= 0.4  # ran for (almost) the full window
+
+
+def test_loop_validations(service):
+    sampler = ZipfSampler(["x"])
+    with pytest.raises(ValueError):
+        run_closed_loop(service, sampler, concurrency=0)
+    with pytest.raises(ValueError):
+        run_closed_loop(service, sampler, duration_s=0)
+    with pytest.raises(ValueError):
+        run_open_loop(service, sampler, rate_qps=0)
+
+
+# ---------------------------------------------------------------------------
+# Service SLO bench
+# ---------------------------------------------------------------------------
+def test_run_service_bench_payload_valid(tmp_path):
+    payload = run_service_bench(
+        duration_s=0.3,
+        concurrency_sweep=(1, 2),
+        pool_size=8,
+        slo_ms=60000.0,  # generous: the headline must exist
+    )
+    validate_service_payload(payload)
+    assert payload["schema"] == "repro.bench_service/v1"
+    assert payload["dataset"]["scale"] == "wiki-tiny-sim"
+    assert len(payload["closed_loop"]) == 2
+    headline = payload["headline"]
+    assert headline["sustained_qps_at_slo"] > 0
+    assert payload["workload"]["zipf_s"] == pytest.approx(1.1)
+    assert payload["slo"]["percentile"] == "p95"
+    assert payload["open_loop"], "open-loop verification row missing"
+    assert payload["phase_breakdown_ms"].get("total", 0) > 0
+    out = tmp_path / "BENCH_service.json"
+    write_service_payload(out, payload)
+    assert validate_service_payload(
+        json.loads(out.read_text(encoding="utf-8"))
+    ) is None
+
+
+def test_validate_service_payload_rejects_bad_payloads():
+    with pytest.raises(ValueError):
+        validate_service_payload({})
+    with pytest.raises(ValueError):
+        validate_service_payload({"schema": "other/v9"})

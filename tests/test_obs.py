@@ -448,3 +448,7 @@ def test_disabled_obs_within_noise_of_untraced():
     # Identical code path either way; generous factor absorbs CI noise.
     assert overhead["ratio"] < 2.0
     assert overhead["plain_ms"] > 0
+    # The always-on flight recorder (per-query tracer + ring commit)
+    # must stay cheap relative to the query itself.
+    assert overhead["flight_ratio"] < 3.0
+    assert overhead["flight_ms"] > 0

@@ -132,6 +132,101 @@ def test_error_metrics_recorded(engine):
 
 
 # ---------------------------------------------------------------------------
+# Flight recorder endpoints
+# ---------------------------------------------------------------------------
+def _debug_service(engine, max_records=8):
+    from repro.obs import FlightRecorder, MetricsRegistry
+
+    return SearchService(
+        engine,
+        registry=MetricsRegistry(),
+        flight=FlightRecorder(max_records=max_records, slow_ms=0),
+    )
+
+
+def test_debug_queries_listing_and_detail(engine):
+    service = _debug_service(engine)
+    status, _, body = service.handle_path("/search?q=machine+learning&k=2")
+    assert status == 200
+    query_id = json.loads(body)["query_id"]
+    assert query_id is not None
+
+    status, content_type, body = service.handle_path("/debug/queries")
+    assert status == 200 and content_type == "application/json"
+    listing = json.loads(body)
+    assert listing["completed"] == 1
+    assert listing["recent"][0]["query_id"] == query_id
+    assert listing["recent"][0]["outcome"] == "ok"
+
+    status, _, body = service.handle_path(f"/debug/queries/{query_id}")
+    assert status == 200
+    detail = json.loads(body)
+    assert detail["query"] == "machine learning"
+    assert detail["phases"]["total"] > 0
+    assert detail["spans"], "record carries a span tree"
+    assert detail["trace"]["traceEvents"]
+
+    status, _, _ = service.handle_path("/debug/queries/notanumber")
+    assert status == 400
+    status, _, _ = service.handle_path("/debug/queries/999999")
+    assert status == 404
+
+
+def test_last_error_links_to_flight_record(engine):
+    service = _debug_service(engine)
+    status, _, body = service.handle_path("/search?q=zzzzqqq")
+    assert status == 404
+    error_payload = json.loads(body)
+    assert error_payload["query_id"] is not None
+    assert error_payload["phase"] == "initialization"
+
+    last_error = service.stats.last_error
+    assert last_error["query_id"] == error_payload["query_id"]
+    assert last_error["phase"] == "initialization"
+    # The linked record is servable.
+    status, _, body = service.handle_path(
+        f"/debug/queries/{last_error['query_id']}"
+    )
+    assert status == 200
+    assert json.loads(body)["outcome"] == "error"
+
+
+def test_services_on_one_engine_share_the_recorder(engine):
+    first = _debug_service(engine)
+    second = SearchService(engine)  # adopts engine.flight
+    assert second.flight is first.flight
+
+
+def test_debug_endpoints_under_concurrency(engine):
+    """Hammer /metrics, /statz and /debug/queries while /search runs:
+    exact request counts, no ring corruption."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    service = _debug_service(engine, max_records=4)
+    n_search, n_read = 24, 30
+    paths = ["/search?q=machine+learning&k=1"] * n_search + [
+        "/metrics",
+        "/statz",
+        "/debug/queries",
+    ] * (n_read // 3)
+    with ThreadPoolExecutor(max_workers=8) as executor:
+        statuses = list(
+            executor.map(lambda p: service.handle_path(p)[0], paths)
+        )
+    assert statuses.count(200) == len(paths)
+    assert service.stats.requests_by_endpoint["/search"] == n_search
+    assert service.stats.requests_by_endpoint["/metrics"] == n_read // 3
+    assert service.stats.requests_by_endpoint["/statz"] == n_read // 3
+    assert service.stats.requests_by_endpoint["/debug/queries"] == n_read // 3
+    # Every search was recorded exactly once; the ring stayed bounded.
+    assert service.flight.completed == n_search
+    listing = service.flight.debug_payload()
+    assert len(listing["recent"]) == 4
+    ids = [row["query_id"] for row in listing["recent"]]
+    assert len(set(ids)) == len(ids)
+
+
+# ---------------------------------------------------------------------------
 # Real HTTP round-trip (ephemeral port)
 # ---------------------------------------------------------------------------
 @pytest.fixture(scope="module")
@@ -186,3 +281,15 @@ def test_http_metrics_and_statz(server):
     status, body = _get(server, "/statz")
     assert status == 200
     assert "requests_by_endpoint" in json.loads(body)["service"]
+
+
+def test_http_debug_queries_roundtrip(server):
+    _get(server, "/search?q=machine+learning&k=1")
+    status, body = _get(server, "/debug/queries")
+    assert status == 200
+    listing = json.loads(body)
+    assert listing["completed"] >= 1
+    query_id = listing["recent"][0]["query_id"]
+    status, body = _get(server, f"/debug/queries/{query_id}")
+    assert status == 200
+    assert json.loads(body)["query_id"] == query_id
