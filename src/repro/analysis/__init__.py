@@ -11,7 +11,7 @@ repo-specific coding contracts that protect it — into machine checks:
   accounting) after every expansion level via shadow-memory write logs;
 * :mod:`~repro.analysis.writelog` — the per-thread, lock-free
   :class:`WriteLog` kernels fill in when a checker is attached;
-* :mod:`~repro.analysis.lint` — AST lint rules ``RPR001``–``RPR011``
+* :mod:`~repro.analysis.lint` — AST lint rules ``RPR001``–``RPR013``
   encoding the repo's contracts (no locks / Python per-edge loops in
   ``@hot_path`` kernels, int64 fancy-index dtype, registered ``REPRO_*``
   env vars, explicit span parents in pool workers, read-only
@@ -28,6 +28,13 @@ repo-specific coding contracts that protect it — into machine checks:
   a deterministic virtual scheduler replaying the thread-pool chunk
   protocol under permuted/adversarial chunk orders (exhaustive on small
   fixtures) and demanding bitwise-identical results on every schedule;
+* :mod:`~repro.analysis.concurrency` — the concurrency-contract
+  analyzer for the *serving shell around* the lock-free engine: an
+  interprocedural lock-order graph over every discovered lock
+  (``RPRCON01`` cycles, ``RPRCON02`` blocking-under-lock, ``RPRCON03``
+  fork-under-lock), cross-checked against the runtime lock witness
+  (``REPRO_LOCK_WITNESS=1``, :mod:`repro.obs.locks`) whose observed
+  ordering edges must all be statically predicted (``RPRCON04``);
 * :mod:`~repro.analysis.faulty` — deliberately broken backends that
   prove the checker fires;
 * :mod:`~repro.analysis.check` — the ``repro check`` gate combining all
@@ -39,6 +46,15 @@ Everything here is opt-in: an unwrapped backend pays a single
 
 from .abi import AbiFinding, AbiReport, run_abi_check
 from .checked import CheckedBackend, InvariantViolation, InvariantViolationError
+from .concurrency import (
+    CONCURRENCY_RULES,
+    ConcurrencyFinding,
+    ConcurrencyReport,
+    LockDef,
+    run_concurrency_check,
+    run_witness_exercise,
+    verify_witness,
+)
 from .faulty import FAULT_MODES, FaultyBackend
 from .lint import LintReport, LintViolation, lint_source, run_lint
 from .schedules import (
@@ -57,6 +73,13 @@ __all__ = [
     "CheckedBackend",
     "InvariantViolation",
     "InvariantViolationError",
+    "CONCURRENCY_RULES",
+    "ConcurrencyFinding",
+    "ConcurrencyReport",
+    "LockDef",
+    "run_concurrency_check",
+    "run_witness_exercise",
+    "verify_witness",
     "FAULT_MODES",
     "FaultyBackend",
     "LintReport",

@@ -1,6 +1,7 @@
 """`repro check` — the repo's static + dynamic analysis gate.
 
-One command that answers "did we break the lock-free design?" six ways:
+One command that answers "did we break the lock-free design?" seven
+ways:
 
 1. **lint** — the repo-specific AST rules (:mod:`repro.analysis.lint`)
    over ``src`` plus — with per-directory rule allowlists
@@ -23,14 +24,21 @@ One command that answers "did we break the lock-free design?" six ways:
    fuzz, plus the **TSan race tier**: an instrumented harness racing
    real pthreads through the kernel under the audited Theorem V.2
    suppression list; skipped gracefully when the toolchain is missing.
-6. **external** — ``ruff`` / ``mypy`` with the configuration in
+6. **concurrency** — :mod:`repro.analysis.concurrency` builds the
+   lock-acquisition-order graph over the serving shell's locks
+   (``RPRCON01`` cycles, ``RPRCON02`` blocking-under-lock, ``RPRCON03``
+   fork-under-lock), then drives a real service workload under the
+   runtime lock witness (``REPRO_LOCK_WITNESS=1``) and demands that
+   every *observed* ordering edge was statically predicted
+   (``RPRCON04`` soundness).
+7. **external** — ``ruff`` / ``mypy`` with the configuration in
    ``pyproject.toml``, run only when installed (they are optional dev
    dependencies; the AST lint above carries the repo-specific load).
 
-``--inject {lint,abi,race,schedule,sanitizer}`` seeds one violation of
-the chosen class so CI and tests can prove the gate actually gates:
-exit code 1 means the seeded violation was caught (the expected
-outcome), 2 means the gate failed to catch it.
+``--inject {lint,abi,race,schedule,sanitizer,deadlock}`` seeds one
+violation of the chosen class so CI and tests can prove the gate
+actually gates: exit code 1 means the seeded violation was caught (the
+expected outcome), 2 means the gate failed to catch it.
 """
 
 from __future__ import annotations
@@ -44,6 +52,7 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple
 import numpy as np
 
 from . import abi as abi_mod
+from . import concurrency as concurrency_mod
 from . import lint as lint_mod
 from . import sanitize as sanitize_mod
 from . import schedules as schedules_mod
@@ -53,14 +62,14 @@ from .faulty import FAULT_MODES, FaultyBackend
 PrintFn = Callable[[str], None]
 
 #: Injection classes `--inject` accepts (one seeded fault per class).
-INJECT_CLASSES = ("lint", "abi", "race", "schedule", "sanitizer")
+INJECT_CLASSES = ("lint", "abi", "race", "schedule", "sanitizer", "deadlock")
 
 #: Extra lint trees (relative to the repo root) and the rule ids waived
 #: per tree. Test helpers may keep deliberate mutable defaults (RPR007)
 #: — fixtures built once per call are the idiom there; benchmarks get no
 #: waivers (they feed the figures, so the full discipline applies).
 LINT_TREES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
-    ("tests", ("RPR007", "RPR012")),
+    ("tests", ("RPR007", "RPR012", "RPR013")),
     ("benchmarks", ()),
 )
 
@@ -82,6 +91,42 @@ def bad_kernel(graph, chunk, q):
 
 def bad_metrics(registry, field):
     registry.counter(f"repro_{field}_total", "oops").inc()
+'''
+
+#: A two-lock cycle (classic AB/BA deadlock) seeded by
+#: ``repro check --inject deadlock``; must be caught as RPRCON01.
+_INJECTED_DEADLOCK_SNIPPET = '''\
+import threading
+
+_LOCK_A = threading.Lock()
+_LOCK_B = threading.Lock()
+
+
+def transfer():
+    with _LOCK_A:
+        with _LOCK_B:
+            return 1
+
+
+def refund():
+    with _LOCK_B:
+        with _LOCK_A:
+            return -1
+'''
+
+#: A sleep held under a lock, seeded alongside the cycle by
+#: ``--inject deadlock``; must be caught as RPRCON02.
+_INJECTED_SLEEP_SNIPPET = '''\
+import threading
+import time
+
+_CACHE_LOCK = threading.Lock()
+
+
+def refresh_cache():
+    with _CACHE_LOCK:
+        time.sleep(0.1)
+        return {}
 '''
 
 
@@ -313,6 +358,52 @@ def run_sanitizer_stage(emit: PrintFn) -> int:
     return failures
 
 
+def run_concurrency_stage(emit: PrintFn) -> int:
+    """Stage 6: static lock-order graph, then the witnessed exercise.
+
+    Fails on any static RPRCONxx finding, on a witness-observed edge the
+    static graph missed (RPRCON04), and on a witness run that observed
+    *no* multi-lock ordering at all — the soundness check is vacuous
+    unless at least one real nesting was exercised.
+    """
+    failures = 0
+    report = concurrency_mod.run_concurrency_check()
+    for finding in report.findings:
+        emit(f"  {finding}")
+    emit(
+        f"  static: {len(report.locks)} lock(s), "
+        f"{len(report.edges)} order edge(s), "
+        f"{report.reachable_functions}/{report.functions_analyzed} "
+        f"function(s) reachable: {len(report.findings)} finding(s)"
+    )
+    failures += len(report.findings)
+
+    witness = concurrency_mod.run_witness_exercise()
+    observed = {
+        edge: count
+        for edge, count in witness.edges().items()
+        if edge[0] in report.locks and edge[1] in report.locks
+    }
+    soundness = concurrency_mod.verify_witness(witness, report)
+    for finding in soundness:
+        emit(f"  {finding}")
+    emit(
+        f"  witness: {sum(witness.acquisitions().values())} acquisition(s) "
+        f"over {len(witness.names())} lock(s), "
+        f"{len(observed)} ordering edge(s) observed "
+        f"(deepest held-set {witness.max_held}): "
+        f"{len(soundness)} unpredicted"
+    )
+    failures += len(soundness)
+    if not observed:
+        emit(
+            "  FAIL: the witnessed exercise observed no multi-lock "
+            "ordering; the soundness check did not actually run"
+        )
+        failures += 1
+    return failures
+
+
 def run_check(
     inject: Optional[str] = None,
     skip_sanitize: bool = False,
@@ -333,33 +424,36 @@ def run_check(
 
     failures = 0
 
-    emit("[1/6] repo-specific lint (RPR001-RPR012; src, tests, benchmarks)")
+    emit("[1/7] repo-specific lint (RPR001-RPR013; src, tests, benchmarks)")
     failures += run_lint_stage(emit)
 
-    emit("[2/6] kernel ABI contracts (C prototypes vs ctypes vs .csrstore)")
+    emit("[2/7] kernel ABI contracts (C prototypes vs ctypes vs .csrstore)")
     failures += run_abi_stage(emit)
 
     if skip_fuzz:
-        emit("[3/6] lock-free invariant fuzz: skipped")
+        emit("[3/7] lock-free invariant fuzz: skipped")
     else:
-        emit("[3/6] lock-free invariant fuzz (CheckedBackend, all backends)")
+        emit("[3/7] lock-free invariant fuzz (CheckedBackend, all backends)")
         failures += run_invariant_fuzz(seeds=fuzz_seeds, print_fn=emit)
         emit("  checker self-validation (FaultyBackend)")
         failures += run_faulty_validation(print_fn=emit)
 
     if skip_schedules:
-        emit("[4/6] schedule exploration: skipped")
+        emit("[4/7] schedule exploration: skipped")
     else:
-        emit("[4/6] schedule exploration (virtual scheduler, chunk orders)")
+        emit("[4/7] schedule exploration (virtual scheduler, chunk orders)")
         failures += run_schedule_stage(emit)
 
     if skip_sanitize:
-        emit("[5/6] sanitized kernel tier: skipped")
+        emit("[5/7] sanitized kernel tier: skipped")
     else:
-        emit("[5/6] sanitized kernel tier (ASan/UBSan subprocess + TSan harness)")
+        emit("[5/7] sanitized kernel tier (ASan/UBSan subprocess + TSan harness)")
         failures += run_sanitizer_stage(emit)
 
-    emit("[6/6] external linters (optional)")
+    emit("[6/7] concurrency contracts (lock-order graph + runtime witness)")
+    failures += run_concurrency_stage(emit)
+
+    emit("[7/7] external linters (optional)")
     root = _repo_root()
     failures += _run_external("ruff", ["check", str(root / "src")], emit)
     failures += _run_external(
@@ -384,7 +478,7 @@ def _run_injection(inject: str, emit: PrintFn) -> int:
         for violation in violations:
             emit(f"  {violation}")
         rules = {violation.rule for violation in violations}
-        expected = {"RPR001", "RPR002", "RPR003", "RPR012"}
+        expected = {"RPR001", "RPR002", "RPR003", "RPR012", "RPR013"}
         if expected <= rules:
             emit(f"caught: seeded rules {sorted(expected)} all fired")
             return 1
@@ -448,6 +542,48 @@ def _run_injection(inject: str, emit: PrintFn) -> int:
             emit("caught: the sanitizer aborted on the seeded overflow")
             return 1
         emit("MISSED: the seeded overflow was not caught")
+        return 2
+    if inject == "deadlock":
+        emit("injecting a two-lock AB/BA cycle module")
+        cycle_report = concurrency_mod.run_concurrency_check(
+            extra_sources=[
+                ("injected_deadlock", "<injected>", _INJECTED_DEADLOCK_SNIPPET)
+            ],
+            extra_roots=[
+                "injected_deadlock.transfer",
+                "injected_deadlock.refund",
+            ],
+        )
+        for finding in cycle_report.findings:
+            emit(f"  {finding}")
+        cycle_caught = any(
+            finding.code == "RPRCON01"
+            and "injected_deadlock._LOCK_A" in finding.message
+            for finding in cycle_report.findings
+        )
+        if cycle_caught:
+            emit("caught: the seeded cycle was flagged as RPRCON01")
+        else:
+            emit("MISSED: the seeded AB/BA cycle went undetected")
+            return 2
+        emit("injecting a time.sleep held under a lock")
+        sleep_report = concurrency_mod.run_concurrency_check(
+            extra_sources=[
+                ("injected_sleep", "<injected>", _INJECTED_SLEEP_SNIPPET)
+            ],
+            extra_roots=["injected_sleep.refresh_cache"],
+        )
+        for finding in sleep_report.findings:
+            emit(f"  {finding}")
+        sleep_caught = any(
+            finding.code == "RPRCON02"
+            and "injected_sleep._CACHE_LOCK" in finding.message
+            for finding in sleep_report.findings
+        )
+        if sleep_caught:
+            emit("caught: the seeded sleep-under-lock was flagged as RPRCON02")
+            return 1
+        emit("MISSED: the seeded sleep-under-lock went undetected")
         return 2
     emit(f"unknown injection class {inject!r}")
     return 2

@@ -58,6 +58,17 @@ RPR012    Metric names handed to ``MetricsRegistry.counter`` /
           inline name defeats ``grep`` from a dashboard back to the
           emitter, and an f-string additionally pays per-request
           string formatting on the service hot path.
+RPR013    Every ``threading.Lock()``/``RLock()``/``Condition()``
+          construction must be bound to a named attribute or a
+          module/class constant — no anonymous function locals. The
+          concurrency analyzer (:mod:`repro.analysis.concurrency`)
+          derives lock identities from those bindings; an anonymous
+          local lock is invisible to its known-lock table, so its
+          ordering and fork-safety are unverifiable. Prefer the
+          witnessed factory (:func:`repro.obs.locks.make_lock`), which
+          also carries the identity at runtime. The factory module
+          itself (``obs/locks.py``) is exempt — it is where plain
+          locks are legitimately manufactured.
 ========  ==============================================================
 
 Suppression: append ``# noqa: RPR00x`` (with a justification comment)
@@ -90,6 +101,7 @@ RULES = {
     "RPR010": "write to a store-backed memmap array outside StoreWriter/builder",
     "RPR011": "exported kernel symbol and ctypes binding sets differ",
     "RPR012": "inline metric name in a registry call; use a module-level constant",
+    "RPR013": "anonymous function-local lock; bind locks to named attributes or module constants",
 }
 
 _ENV_LITERAL = re.compile(r"REPRO_[A-Z][A-Z0-9_]*\Z")
@@ -130,6 +142,11 @@ _COPYING_CALLS = {"asarray", "ascontiguousarray", "copy", "array"}
 #: Paths (relative to the package root) allowed to write store-backed
 #: arrays: the store writer itself and the streaming builder.
 _STORE_WRITER_SCOPES = ("graph/store.py", "graph/builder.py")
+
+#: The witnessed-lock factory module (relative to the package root):
+#: the one place allowed to build plain ``threading.Lock`` objects in
+#: function scope (RPR013 exemption) — every lock is born there.
+_LOCK_FACTORY_SCOPE = "obs/locks.py"
 
 #: Calls whose result is a store-backed (memmap) array; names bound from
 #: them are tracked for RPR010.
@@ -215,6 +232,7 @@ class _FileLinter(ast.NodeVisitor):
         figure_scope: bool,
         is_registry: bool,
         store_writer_scope: bool = False,
+        lock_factory_scope: bool = False,
     ) -> None:
         self.path = path
         self.registered_env = registered_env
@@ -222,6 +240,7 @@ class _FileLinter(ast.NodeVisitor):
         self.figure_scope = figure_scope
         self.is_registry = is_registry
         self.store_writer_scope = store_writer_scope
+        self.lock_factory_scope = lock_factory_scope
         self.violations: List[LintViolation] = []
         # Stack of per-function "is hot path" flags; hotness is inherited
         # by nested helpers defined inside a hot kernel.
@@ -332,15 +351,55 @@ class _FileLinter(ast.NodeVisitor):
                     "StoreWriter/builder code may write them",
                 )
 
+    # ------------------------------------------------------------------
+    # RPR013 — locks are named attributes or module/class constants
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _constructs_lock(value: ast.expr) -> Optional[str]:
+        """The primitive name when ``value`` builds a threading lock."""
+        for sub in ast.walk(value):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = _terminal_name(sub.func)
+            if name not in {"Lock", "RLock", "Condition"}:
+                continue
+            if isinstance(sub.func, ast.Attribute):
+                receiver = _terminal_name(sub.func.value)
+                if receiver != "threading":
+                    continue
+            return name
+        return None
+
+    def _check_local_lock(
+        self, targets: Sequence[ast.expr], value: ast.expr
+    ) -> None:
+        if self.lock_factory_scope or not self._hot_stack:
+            return  # factory module, or a module/class-level binding
+        primitive = self._constructs_lock(value)
+        if primitive is None:
+            return
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self._emit(
+                    target,
+                    "RPR013",
+                    f"anonymous function-local threading.{primitive}(); "
+                    "bind locks to a named attribute or module constant "
+                    "(ideally via repro.obs.locks.make_lock) so the "
+                    "concurrency analyzer's known-lock table sees them",
+                )
+
     def visit_Assign(self, node: ast.Assign) -> None:
         self._track_memmap_binding(node.targets, node.value)
         self._check_memmap_store(node.targets)
+        self._check_local_lock(node.targets, node.value)
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         if node.value is not None:
             self._track_memmap_binding([node.target], node.value)
             self._check_memmap_store([node.target])
+            self._check_local_lock([node.target], node.value)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
@@ -734,6 +793,7 @@ def lint_source(
     figure_scope = rel is None or rel.startswith(_FIGURE_SCOPES)
     is_registry = rel is not None and rel.endswith("obs/config.py")
     store_writer_scope = rel is not None and rel in _STORE_WRITER_SCOPES
+    lock_factory_scope = rel is not None and rel == _LOCK_FACTORY_SCOPE
     linter = _FileLinter(
         path=path,
         registered_env=registered_env,
@@ -741,6 +801,7 @@ def lint_source(
         figure_scope=figure_scope,
         is_registry=is_registry,
         store_writer_scope=store_writer_scope,
+        lock_factory_scope=lock_factory_scope,
     )
     tree = ast.parse(source)
     # Pre-pass: bind memmap-sourced names module-wide before rule checks,

@@ -24,6 +24,8 @@ from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
+from ..obs.locks import make_lock, register_lock_owner
+
 #: Batch kinds: matrix (``M``) and frontier (``FIdentifier``) stores.
 KIND_MATRIX = "M"
 KIND_FRONTIER = "F"
@@ -57,7 +59,10 @@ class WriteLog:
     """Append-only, thread-partitioned record of kernel scatter-stores."""
 
     def __init__(self) -> None:
-        self._registry_lock = threading.Lock()
+        self._registry_lock = make_lock(
+            "analysis.writelog.WriteLog._registry_lock"
+        )
+        register_lock_owner(self, "_registry_lock")
         self._by_thread: Dict[int, List[WriteBatch]] = {}
         self._local = threading.local()
 

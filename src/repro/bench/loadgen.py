@@ -41,6 +41,7 @@ from urllib.parse import quote
 import numpy as np
 
 from ..eval.queries import KeywordWorkload
+from ..obs.locks import make_lock
 from ..service import METRIC_HTTP_REQUEST_SECONDS, SearchService
 from ..text.inverted_index import InvertedIndex
 
@@ -158,6 +159,32 @@ def _search_path(query: str, k: int) -> str:
     return f"/search?q={quote(query)}&k={k}"
 
 
+class _StatusCounts:
+    """Thread-safe HTTP status tally shared by load-generator clients.
+
+    A named lock holder (RPR013): the per-run tally used to be an
+    anonymous ``counts_lock`` local, invisible to the concurrency
+    analyzer's known-lock table.
+    """
+
+    def __init__(self) -> None:
+        self._lock = make_lock("bench.loadgen._StatusCounts._lock")
+        self._counts: Dict[int, int] = {}
+
+    def add(self, status: int, count: int = 1) -> None:
+        with self._lock:
+            self._counts[status] = self._counts.get(status, 0) + count
+
+    def merge(self, counts: Dict[int, int]) -> None:
+        with self._lock:
+            for status, count in counts.items():
+                self._counts[status] = self._counts.get(status, 0) + count
+
+    def as_dict(self) -> Dict[int, int]:
+        with self._lock:
+            return dict(self._counts)
+
+
 def _search_latency_summary(service: SearchService) -> Dict[str, float]:
     return service.registry.histogram(
         METRIC_HTTP_REQUEST_SECONDS, "HTTP request latency",
@@ -180,8 +207,7 @@ def run_closed_loop(
         raise ValueError("concurrency must be positive")
     if duration_s <= 0:
         raise ValueError("duration_s must be positive")
-    status_counts: Dict[int, int] = {}
-    counts_lock = threading.Lock()
+    tally = _StatusCounts()
     start = time.perf_counter()
     deadline = start + duration_s
 
@@ -192,9 +218,7 @@ def run_closed_loop(
             path = _search_path(local_sampler.sample(), k)
             status, _, _ = service.handle_path(path)
             local_counts[status] = local_counts.get(status, 0) + 1
-        with counts_lock:
-            for status, count in local_counts.items():
-                status_counts[status] = status_counts.get(status, 0) + count
+        tally.merge(local_counts)
 
     threads = [
         threading.Thread(target=client, args=(index,), daemon=True)
@@ -205,6 +229,7 @@ def run_closed_loop(
     for thread in threads:
         thread.join()
     elapsed = time.perf_counter() - start
+    status_counts = tally.as_dict()
     n_requests = sum(status_counts.values())
     n_errors = sum(
         count for status, count in status_counts.items() if status >= 400
@@ -253,13 +278,11 @@ def run_open_loop(
         arrivals.append(clock)
     queries = sampler.spawn(seed + 1).sample_many(max(len(arrivals), 1))
 
-    status_counts: Dict[int, int] = {}
-    counts_lock = threading.Lock()
+    tally = _StatusCounts()
 
     def fire(path: str) -> None:
         status, _, _ = service.handle_path(path)
-        with counts_lock:
-            status_counts[status] = status_counts.get(status, 0) + 1
+        tally.add(status)
 
     start = time.perf_counter()
     with ThreadPoolExecutor(max_workers=max_concurrency) as executor:
@@ -272,6 +295,7 @@ def run_open_loop(
         for future in futures:
             future.result()
     elapsed = time.perf_counter() - start
+    status_counts = tally.as_dict()
     n_requests = sum(status_counts.values())
     n_errors = sum(
         count for status, count in status_counts.items() if status >= 400

@@ -276,7 +276,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument(
         "--inject",
-        choices=("lint", "abi", "race", "schedule", "sanitizer"),
+        choices=("lint", "abi", "race", "schedule", "sanitizer", "deadlock"),
         help="seed one violation of the chosen class to prove the gate "
              "gates (exit 1 = caught, 2 = missed)",
     )
@@ -659,10 +659,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     from .analysis.check import run_check
+    from .analysis.concurrency import CONCURRENCY_RULES
     from .analysis.lint import RULES
 
     if args.list_rules:
-        for rule, summary in sorted(RULES.items()):
+        for rule, summary in sorted({**RULES, **CONCURRENCY_RULES}.items()):
             print(f"{rule}  {summary}")
         return 0
     return run_check(

@@ -28,6 +28,7 @@ import threading
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from .config import obs_enabled
+from .locks import make_lock, register_lock_owner
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..instrumentation import KernelCounters
@@ -84,7 +85,8 @@ class _Instrument:
         self.name = name
         self.help = help
         self.labels = labels
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.metrics._Instrument._lock")
+        register_lock_owner(self, "_lock")
 
 
 class Counter(_Instrument):
@@ -274,7 +276,8 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.metrics.MetricsRegistry._lock")
+        register_lock_owner(self, "_lock")
         self._instruments: "Dict[tuple, _Instrument]" = {}
         self._kinds: Dict[str, str] = {}
         self._helps: Dict[str, str] = {}

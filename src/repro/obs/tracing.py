@@ -43,6 +43,7 @@ from types import TracebackType
 from typing import Any, Callable, ContextManager, Dict, Iterator, List, Optional, Type
 
 from .config import obs_enabled
+from .locks import make_lock, register_fork_callback, register_lock_owner
 
 
 class Span:
@@ -159,7 +160,8 @@ class Tracer:
 
     def __init__(self, enabled: Optional[bool] = None) -> None:
         self.enabled = obs_enabled() if enabled is None else bool(enabled)
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.tracing.Tracer._lock")
+        register_lock_owner(self, "_lock")
         self._finished: List[Span] = []
         self._local = threading.local()
         self._epoch_ns = time.perf_counter_ns()
@@ -416,7 +418,18 @@ class NullTracer(Tracer):
 NULL_TRACER = NullTracer()
 
 _GLOBAL_TRACER: Tracer = NULL_TRACER
-_GLOBAL_LOCK = threading.Lock()
+_GLOBAL_LOCK = make_lock("obs.tracing._GLOBAL_LOCK")
+
+
+def _reinit_global_lock() -> None:
+    """Fork-safety: a child forked while another thread held
+    ``_GLOBAL_LOCK`` inherits it locked with no owner; give the child a
+    fresh one (only the forking thread survives into the child)."""
+    global _GLOBAL_LOCK
+    _GLOBAL_LOCK = make_lock("obs.tracing._GLOBAL_LOCK")
+
+
+register_fork_callback(_reinit_global_lock)
 
 
 def install_global_tracer(tracer: Tracer) -> None:

@@ -37,6 +37,7 @@ from .core.central_graph import SearchAnswer
 from .core.engine import EmptyQueryError, KeywordSearchEngine
 from .graph.csr import KnowledgeGraph
 from .obs.flight import FlightRecorder
+from .obs.locks import make_lock, register_lock_owner
 from .obs.metrics import MetricsRegistry, get_registry
 from .viz import edge_predicates
 
@@ -162,7 +163,8 @@ class SearchService:
         else:
             self.flight = FlightRecorder.from_env()
         engine.flight = self.flight
-        self._lock = threading.Lock()
+        self._lock = make_lock("service.SearchService._lock")
+        register_lock_owner(self, "_lock")
 
     def _record_request(
         self,
@@ -339,16 +341,23 @@ class SearchService:
         if parsed.path == "/metrics":
             return 200, PROMETHEUS_CONTENT_TYPE, self.registry.render_prometheus()
         if parsed.path == "/statz":
-            return 200, "application/json", json.dumps(
-                {
+            # Graph storage accounting: mmap-backed stores report their
+            # resident page estimate alongside the full CSR size, so an
+            # operator can tell page cache from heap. Computed outside
+            # the stats lock — it may touch mmap pages.
+            storage = self.graph.memory_report()
+            # Stats and metrics are read under the service lock so the
+            # endpoint counts and the HTTP counters describe the same
+            # instant (a concurrent /search cannot land between them).
+            # This nests service -> registry -> instrument locks; the
+            # concurrency analyzer's lock-order graph pins that order.
+            with self._lock:
+                payload = {
                     "service": self.stats.as_dict(),
-                    # Graph storage accounting: mmap-backed stores report
-                    # their resident page estimate alongside the full CSR
-                    # size, so an operator can tell page cache from heap.
-                    "storage": self.graph.memory_report(),
+                    "storage": storage,
                     "metrics": self.registry.snapshot(),
                 }
-            )
+            return 200, "application/json", json.dumps(payload)
         if parsed.path == "/debug/queries":
             return 200, "application/json", json.dumps(
                 self.flight.debug_payload()

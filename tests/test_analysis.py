@@ -833,10 +833,21 @@ def test_cli_check_inject_sanitizer_exits_one():
     assert main(["check", "--inject", "sanitizer"]) == 1
 
 
+def test_cli_check_inject_deadlock_exits_one(capsys):
+    from repro.cli import main
+
+    assert main(["check", "--inject", "deadlock"]) == 1
+    out = capsys.readouterr().out
+    assert "RPRCON01" in out
+    assert "RPRCON02" in out
+    assert "caught" in out
+
+
 def test_cli_check_list_rules(capsys):
     from repro.cli import main
 
     assert main(["check", "--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule in ("RPR001", "RPR008", "RPR010", "RPR011"):
+    for rule in ("RPR001", "RPR008", "RPR010", "RPR011", "RPR013",
+                 "RPRCON01", "RPRCON04"):
         assert rule in out

@@ -452,3 +452,7 @@ def test_disabled_obs_within_noise_of_untraced():
     # must stay cheap relative to the query itself.
     assert overhead["flight_ratio"] < 3.0
     assert overhead["flight_ms"] > 0
+    # The witnessed lock factory (REPRO_LOCK_WITNESS=1) wraps every
+    # service-shell lock; the debug tier must stay usable.
+    assert overhead["witness_ratio"] < 3.0
+    assert overhead["witness_ms"] > 0
